@@ -1,0 +1,87 @@
+//! T4 — ablations of the design choices called out in DESIGN.md §5:
+//! landmark sampling rate, block-distribution density, and the polynomial
+//! scheme's cover parameter decoupled from its digit parameter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::analysis::{PairSelection, SchemeEvaluation};
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_dictionary::DistributionParams;
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_metric::DistanceMatrix;
+use rtr_namedep::{LandmarkBallScheme, LandmarkParams};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 96usize;
+    let g = strongly_connected_gnp(n, 0.08, 13).unwrap();
+    let m = DistanceMatrix::build(&g);
+    let names = NamingAssignment::random(n, 4);
+    let selection = PairSelection::Sampled { count: 400, seed: 1 };
+
+    // Ablation 1: landmark sampling rate (space/stretch frontier of the
+    // compact substrate under the stretch-6 scheme).
+    for factor in [0.5f64, 1.0, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::new("landmark_factor", format!("{factor:.1}")),
+            &factor,
+            |b, &factor| {
+                b.iter(|| {
+                    let substrate = LandmarkBallScheme::build(
+                        &g,
+                        &m,
+                        LandmarkParams { landmark_factor: factor, ..Default::default() },
+                    );
+                    let scheme =
+                        StretchSix::build(&g, &m, &names, substrate, Stretch6Params::default());
+                    SchemeEvaluation::measure(&g, &m, &names, &scheme, selection).unwrap().avg_stretch
+                })
+            },
+        );
+    }
+
+    // Ablation 2: block-distribution density (repairs vs table size).
+    for density in [0.0f64, 2.0, 4.0, 8.0] {
+        group.bench_with_input(
+            BenchmarkId::new("block_density", format!("{density:.0}")),
+            &density,
+            |b, &density| {
+                b.iter(|| {
+                    let params = Stretch6Params {
+                        blocks: DistributionParams { density, seed: 5 },
+                    };
+                    let substrate = LandmarkBallScheme::build(&g, &m, LandmarkParams::default());
+                    let scheme = StretchSix::build(&g, &m, &names, substrate, params);
+                    scheme.max_blocks_per_node()
+                })
+            },
+        );
+    }
+
+    // Ablation 3: polynomial scheme with the cover parameter decoupled from k.
+    for cover_k in [2u32, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("poly_cover_k", cover_k),
+            &cover_k,
+            |b, &cover_k| {
+                b.iter(|| {
+                    let scheme = PolynomialStretch::build(
+                        &g,
+                        &m,
+                        &names,
+                        PolyParams { k: 3, cover_k },
+                    );
+                    SchemeEvaluation::measure(&g, &m, &names, &scheme, selection).unwrap().max_stretch
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! T1 — preprocessing (table construction) time of every scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_metric::DistanceMatrix;
+use rtr_namedep::{ExactOracleScheme, LandmarkBallScheme, LandmarkParams};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[64usize, 128, 256] {
+        let g = strongly_connected_gnp(n, (8.0 / n as f64).min(0.5), 7).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let names = NamingAssignment::random(n, 1);
+
+        group.bench_with_input(BenchmarkId::new("distance_matrix", n), &n, |b, _| {
+            b.iter(|| DistanceMatrix::build(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("stretch6_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("stretch6_landmark", n), &n, |b, _| {
+            b.iter(|| {
+                StretchSix::build(
+                    &g,
+                    &m,
+                    &names,
+                    LandmarkBallScheme::build(&g, &m, LandmarkParams::default()),
+                    Stretch6Params::default(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exstretch_k3_oracle", n), &n, |b, _| {
+            b.iter(|| {
+                ExStretch::build(&g, &m, &names, ExactOracleScheme::build(&g), ExStretchParams::with_k(3))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("polystretch_k2", n), &n, |b, _| {
+            b.iter(|| PolynomialStretch::build(&g, &m, &names, PolyParams::with_k(2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! T2 — per-roundtrip forwarding time (the online cost of the local
+//! forwarding functions, driven by the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_graph::NodeId;
+use rtr_metric::DistanceMatrix;
+use rtr_namedep::ExactOracleScheme;
+use rtr_sim::{RoundtripRouting, Simulator};
+
+fn roundtrip_all<S: RoundtripRouting>(
+    sim: &Simulator<'_>,
+    scheme: &S,
+    names: &NamingAssignment,
+    pairs: &[(NodeId, NodeId)],
+) -> u64 {
+    let mut total = 0;
+    for &(s, t) in pairs {
+        total += sim.roundtrip(scheme, s, t, names.name_of(t)).unwrap().total_weight();
+    }
+    total
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forwarding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 128usize;
+    let g = strongly_connected_gnp(n, 0.06, 5).unwrap();
+    let m = DistanceMatrix::build(&g);
+    let names = NamingAssignment::random(n, 2);
+    let sim = Simulator::new(&g);
+    let pairs: Vec<(NodeId, NodeId)> = (0..200)
+        .map(|i| (NodeId((i * 7) % n as u32), NodeId((i * 13 + 5) % n as u32)))
+        .filter(|(a, b)| a != b)
+        .collect();
+
+    let s6 = StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+    group.bench_with_input(BenchmarkId::new("stretch6", n), &n, |b, _| {
+        b.iter(|| roundtrip_all(&sim, &s6, &names, &pairs))
+    });
+
+    let ex = ExStretch::build(&g, &m, &names, ExactOracleScheme::build(&g), ExStretchParams::with_k(3));
+    group.bench_with_input(BenchmarkId::new("exstretch_k3", n), &n, |b, _| {
+        b.iter(|| roundtrip_all(&sim, &ex, &names, &pairs))
+    });
+
+    let poly = PolynomialStretch::build(&g, &m, &names, PolyParams::with_k(2));
+    group.bench_with_input(BenchmarkId::new("polystretch_k2", n), &n, |b, _| {
+        b.iter(|| roundtrip_all(&sim, &poly, &names, &pairs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! T3 — name-dependent substrate construction and leg-routing time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_graph::{DiGraph, NodeId};
+use rtr_metric::DistanceMatrix;
+use rtr_namedep::{
+    ExactOracleScheme, LandmarkBallScheme, LandmarkParams, NameDependentSubstrate, TreeCoverScheme,
+};
+use rtr_sim::ForwardAction;
+
+fn drive<S: NameDependentSubstrate>(g: &DiGraph, s: &S, src: NodeId, mut label: S::Label) -> u64 {
+    let mut at = src;
+    let mut w = 0;
+    loop {
+        match s.step(at, &mut label).unwrap() {
+            ForwardAction::Deliver => return w,
+            ForwardAction::Forward(port) => {
+                let e = g.edge_by_port(at, port).unwrap();
+                w += e.weight;
+                at = e.to;
+            }
+        }
+    }
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 128usize;
+    let g = strongly_connected_gnp(n, 0.06, 3).unwrap();
+    let m = DistanceMatrix::build(&g);
+
+    group.bench_with_input(BenchmarkId::new("build/oracle", n), &n, |b, _| {
+        b.iter(|| ExactOracleScheme::build(&g))
+    });
+    group.bench_with_input(BenchmarkId::new("build/landmark", n), &n, |b, _| {
+        b.iter(|| LandmarkBallScheme::build(&g, &m, LandmarkParams::default()))
+    });
+    group.bench_with_input(BenchmarkId::new("build/tree_cover_k2", n), &n, |b, _| {
+        b.iter(|| TreeCoverScheme::build(&g, &m, 2))
+    });
+
+    let oracle = ExactOracleScheme::build(&g);
+    let landmark = LandmarkBallScheme::build(&g, &m, LandmarkParams::default());
+    let cover = TreeCoverScheme::build(&g, &m, 2);
+    let pairs: Vec<(NodeId, NodeId)> = (0..100)
+        .map(|i| (NodeId((i * 11) % n as u32), NodeId((i * 17 + 3) % n as u32)))
+        .filter(|(a, b)| a != b)
+        .collect();
+
+    group.bench_function("route/oracle", |b| {
+        b.iter(|| pairs.iter().map(|&(u, v)| drive(&g, &oracle, u, oracle.pair_label(u, v))).sum::<u64>())
+    });
+    group.bench_function("route/landmark", |b| {
+        b.iter(|| pairs.iter().map(|&(u, v)| drive(&g, &landmark, u, landmark.pair_label(u, v))).sum::<u64>())
+    });
+    group.bench_function("route/tree_cover", |b| {
+        b.iter(|| pairs.iter().map(|&(u, v)| drive(&g, &cover, u, cover.pair_label(u, v))).sum::<u64>())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! # rtr-bench — experiment harnesses and benchmarks
+//!
+//! One binary per figure/table of EXPERIMENTS.md (run with
+//! `cargo run -p rtr-bench --release --bin <name>`), plus Criterion benches
+//! for construction and forwarding time.
+//!
+//! Every binary accepts the environment variables
+//!
+//! * `RTR_SIZES` — comma-separated node counts (default per experiment),
+//! * `RTR_SEEDS` — number of seeds to average over (default 3),
+//! * `RTR_PAIRS` — roundtrip requests sampled per configuration (default
+//!   2000, or all pairs when the graph is small enough),
+//!
+//! so the same code scales from a quick smoke run to the full sweep recorded
+//! in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rtr_core::analysis::PairSelection;
+use rtr_core::naming::NamingAssignment;
+use rtr_graph::generators::Family;
+use rtr_graph::DiGraph;
+use rtr_metric::DistanceMatrix;
+
+/// Shared experiment configuration read from the environment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Node counts to sweep.
+    pub sizes: Vec<usize>,
+    /// Number of random seeds per configuration.
+    pub seeds: u64,
+    /// Roundtrip requests per configuration.
+    pub pairs: usize,
+}
+
+impl ExperimentConfig {
+    /// Reads the configuration from `RTR_SIZES`, `RTR_SEEDS` and `RTR_PAIRS`,
+    /// falling back to the given defaults.
+    pub fn from_env(default_sizes: &[usize], default_seeds: u64, default_pairs: usize) -> Self {
+        let sizes = std::env::var("RTR_SIZES")
+            .ok()
+            .map(|s| {
+                s.split(',')
+                    .filter_map(|x| x.trim().parse().ok())
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|v| !v.is_empty())
+            .unwrap_or_else(|| default_sizes.to_vec());
+        let seeds = std::env::var("RTR_SEEDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_seeds);
+        let pairs = std::env::var("RTR_PAIRS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default_pairs);
+        ExperimentConfig { sizes, seeds, pairs }
+    }
+
+    /// The pair-selection policy for a graph of `n` nodes: all pairs when that
+    /// is no more work than the sample budget, otherwise a seeded sample.
+    pub fn selection(&self, n: usize, seed: u64) -> PairSelection {
+        if n * (n - 1) <= self.pairs {
+            PairSelection::AllPairs
+        } else {
+            PairSelection::Sampled { count: self.pairs, seed }
+        }
+    }
+}
+
+/// A generated experiment instance: graph, metric, naming.
+#[derive(Debug)]
+pub struct Instance {
+    /// Family label for reporting.
+    pub family: &'static str,
+    /// The graph.
+    pub graph: DiGraph,
+    /// Its all-pairs distances.
+    pub metric: DistanceMatrix,
+    /// The adversarial TINN naming.
+    pub names: NamingAssignment,
+}
+
+/// Builds an experiment instance of `family` with ≈`n` nodes.
+pub fn instance(family: Family, n: usize, seed: u64) -> Instance {
+    let graph = family.generate(n, seed).expect("generator failed");
+    let metric = DistanceMatrix::build(&graph);
+    let names = NamingAssignment::random(graph.node_count(), seed ^ 0x9e37_79b9);
+    Instance { family: family.name(), graph, metric, names }
+}
+
+/// Prints a section banner so experiment output is self-describing.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats a mean ± max pair.
+pub fn fmt_stat(avg: f64, max: f64) -> String {
+    format!("{avg:.3} (max {max:.3})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_apply() {
+        let cfg = ExperimentConfig::from_env(&[64, 128], 3, 500);
+        assert!(!cfg.sizes.is_empty());
+        assert!(cfg.seeds >= 1);
+        assert!(cfg.pairs >= 1);
+    }
+
+    #[test]
+    fn selection_switches_to_sampling_for_large_graphs() {
+        let cfg = ExperimentConfig { sizes: vec![64], seeds: 1, pairs: 100 };
+        assert!(matches!(cfg.selection(8, 0), PairSelection::AllPairs));
+        assert!(matches!(cfg.selection(64, 0), PairSelection::Sampled { count: 100, .. }));
+    }
+
+    #[test]
+    fn instances_are_reproducible() {
+        let a = instance(Family::Gnp, 32, 5);
+        let b = instance(Family::Gnp, 32, 5);
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.names, b.names);
+    }
+}

@@ -1,0 +1,165 @@
+//! The §5 lower bound: on bidirected networks, any TINN roundtrip routing
+//! scheme with `o(n)`-bit tables at every node has stretch ≥ 2.
+//!
+//! Theorem 15 reduces the roundtrip lower bound to the Gavoille–Gengler
+//! stretch-3 lower bound for undirected (one-way) routing: take an undirected
+//! network `N` that is hard for stretch < 3, replace every edge by two
+//! opposite directed edges of the same weight (so `d(u,v) = d(v,u)` and
+//! `r(u,v) = 2 d(u,v)`), and observe that a roundtrip scheme of stretch < 2 on
+//! `N'` would yield a one-way scheme of stretch < 3 on `N`.
+//!
+//! A lower bound cannot be "run", but its premises and its construction can
+//! be: this module builds the bidirected instances (including a
+//! Gavoille–Gengler-style hard family based on dense graphs with many
+//! distinct distance profiles), verifies the symmetry property the reduction
+//! needs, and lets experiment E10 place our schemes' measured
+//! (table size, stretch) points against the `stretch ≥ 2` frontier.
+
+use rtr_graph::generators::bidirected_from_undirected;
+use rtr_graph::{DiGraph, NodeId, Weight};
+use rtr_metric::DistanceMatrix;
+
+/// The hard instance family used by experiment E10: a bidirected graph built
+/// from an undirected base graph in which many vertex pairs are at distance
+/// exactly 1 or exactly 2, which is the regime the Gavoille–Gengler argument
+/// exploits (a scheme with small tables cannot remember which is which, and a
+/// single wrong first hop already costs stretch 3 one-way / 2 roundtrip).
+///
+/// The base graph on `n = 2m` vertices: a perfect matching is *removed* from
+/// the complete bipartite graph `K_{m,m}` according to a seed-dependent
+/// pattern, so each left vertex is adjacent to all but one right vertex.
+/// Matched pairs are at distance 2, all other cross pairs at distance 1.
+pub fn hard_bidirected_instance(m: usize, seed: u64) -> DiGraph {
+    assert!(m >= 2, "need at least 2 vertices per side");
+    let n = 2 * m;
+    let mut edges: Vec<(u32, u32, Weight)> = Vec::new();
+    // A seed-dependent permutation defining the removed matching.
+    let mut matching: Vec<usize> = (0..m).collect();
+    // Deterministic Fisher–Yates driven by a splitmix stream.
+    let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = || {
+        s ^= s >> 30;
+        s = s.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s ^= s >> 27;
+        s
+    };
+    for i in (1..m).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        matching.swap(i, j);
+    }
+    for left in 0..m {
+        for right in 0..m {
+            if matching[left] == right {
+                continue; // removed matching edge
+            }
+            edges.push((left as u32, (m + right) as u32, 1));
+        }
+    }
+    // Connect the two sides internally so the graph stays connected even for
+    // tiny m, and so same-side pairs have finite distance.
+    for i in 0..m - 1 {
+        edges.push((i as u32, (i + 1) as u32, 1));
+        edges.push(((m + i) as u32, (m + i + 1) as u32, 1));
+    }
+    bidirected_from_undirected(n, &edges, seed).expect("hard instance construction is valid")
+}
+
+/// Verifies the symmetry property the reduction of Theorem 15 relies on:
+/// `d(u, v) = d(v, u)` for every pair, hence `r(u, v) = 2·d(u, v)`.
+pub fn is_distance_symmetric(m: &DistanceMatrix) -> bool {
+    let n = m.node_count();
+    for u in 0..n {
+        for v in 0..n {
+            let (u, v) = (NodeId::from_index(u), NodeId::from_index(v));
+            if m.distance(u, v) != m.distance(v, u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The information-theoretic table-size threshold of the lower bound: Ω(n)
+/// bits. For plotting, experiment E10 uses `n/8` bits (one bit per node with a
+/// conservative constant) as the "linear regime" reference line.
+pub fn linear_table_reference_bits(n: usize) -> usize {
+    n / 8
+}
+
+/// Translates a *one-way* stretch bound on the undirected base graph into the
+/// roundtrip stretch bound the reduction yields on the bidirected instance
+/// (the arithmetic step at the end of Theorem 15's proof):
+/// a one-way path of length `≤ α·d(u,v)` plus a return of length `≤ β·d(v,u)`
+/// gives a roundtrip of length `≤ ((α + β)/2)·r(u,v)` when distances are
+/// symmetric.
+pub fn roundtrip_stretch_from_oneway(alpha: f64, beta: f64) -> f64 {
+    (alpha + beta) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::generators::bidirected_grid;
+
+    #[test]
+    fn hard_instances_are_symmetric_and_strongly_connected() {
+        for m in [3usize, 5, 8] {
+            let g = hard_bidirected_instance(m, 7);
+            assert!(g.is_strongly_connected());
+            let dm = DistanceMatrix::build(&g);
+            assert!(is_distance_symmetric(&dm));
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    assert_eq!(dm.roundtrip(u, v), 2 * dm.distance(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matched_pairs_are_at_distance_two() {
+        let m = 6;
+        let g = hard_bidirected_instance(m, 3);
+        let dm = DistanceMatrix::build(&g);
+        let mut dist1 = 0;
+        let mut dist2 = 0;
+        for left in 0..m as u32 {
+            for right in 0..m as u32 {
+                match dm.distance(NodeId(left), NodeId(m as u32 + right)) {
+                    1 => dist1 += 1,
+                    2 => dist2 += 1,
+                    other => panic!("unexpected cross distance {other}"),
+                }
+            }
+        }
+        assert_eq!(dist2, m, "exactly one matched (distance-2) partner per left vertex");
+        assert_eq!(dist1, m * (m - 1));
+    }
+
+    #[test]
+    fn generic_bidirected_graphs_are_symmetric() {
+        let g = bidirected_grid(4, 5, 9).unwrap();
+        let dm = DistanceMatrix::build(&g);
+        assert!(is_distance_symmetric(&dm));
+    }
+
+    #[test]
+    fn reduction_arithmetic() {
+        // One-way stretch 3 both ways → roundtrip stretch 3; the theorem's
+        // contrapositive: roundtrip < 2 would need (α + β)/2 < 2, i.e. some
+        // direction with one-way stretch < 3 on the base graph.
+        assert_eq!(roundtrip_stretch_from_oneway(3.0, 3.0), 3.0);
+        assert_eq!(roundtrip_stretch_from_oneway(3.0, 1.0), 2.0);
+        assert!(roundtrip_stretch_from_oneway(2.9, 1.0) < 2.0);
+        assert!(linear_table_reference_bits(1024) >= 128);
+    }
+
+    #[test]
+    fn different_seeds_remove_different_matchings() {
+        let a = hard_bidirected_instance(6, 1);
+        let b = hard_bidirected_instance(6, 2);
+        let ea: Vec<_> = a.nodes().flat_map(|u| a.out_edges(u).iter().map(move |e| (u, e.to)).collect::<Vec<_>>()).collect();
+        let eb: Vec<_> = b.nodes().flat_map(|u| b.out_edges(u).iter().map(move |e| (u, e.to)).collect::<Vec<_>>()).collect();
+        assert_ne!(ea, eb);
+    }
+}

@@ -1,0 +1,124 @@
+//! The topology-independent node-name assignment (§1.1.2).
+//!
+//! In the TINN model the adversary names the nodes with an arbitrary
+//! permutation of `{0, …, n−1}`. A [`NamingAssignment`] is that permutation:
+//! it maps topological [`NodeId`]s to [`NodeName`]s and back. Scheme code
+//! treats names as opaque dictionary keys; only the experiments and the
+//! simulator (for verifying delivery) ever convert a name back to a node.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rtr_dictionary::NodeName;
+use rtr_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A bijection between topological node ids and topology-independent names.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NamingAssignment {
+    /// `name_of[node] = name`.
+    name_of: Vec<NodeName>,
+    /// `node_of[name] = node`.
+    node_of: Vec<NodeId>,
+}
+
+impl NamingAssignment {
+    /// The identity assignment (`name(v) = v`). Useful as a baseline: a TINN
+    /// scheme must behave identically under any assignment, which the tests
+    /// check by comparing runs under [`identity`](Self::identity),
+    /// [`random`](Self::random) and [`reversed`](Self::reversed).
+    pub fn identity(n: usize) -> Self {
+        Self::from_names((0..n as u32).map(NodeName).collect())
+    }
+
+    /// The reversal `name(v) = n − 1 − v`, a simple "adversarial" assignment
+    /// that maximally decorrelates names from ids.
+    pub fn reversed(n: usize) -> Self {
+        Self::from_names((0..n as u32).map(|i| NodeName(n as u32 - 1 - i)).collect())
+    }
+
+    /// A uniformly random permutation drawn with the given seed — the default
+    /// adversary used by the experiments.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut names: Vec<NodeName> = (0..n as u32).map(NodeName).collect();
+        names.shuffle(&mut StdRng::seed_from_u64(seed));
+        Self::from_names(names)
+    }
+
+    /// Builds an assignment from an explicit permutation
+    /// (`names[node_index] = name`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is not a permutation of `{0, …, n−1}`.
+    pub fn from_names(names: Vec<NodeName>) -> Self {
+        let n = names.len();
+        let mut node_of = vec![NodeId(u32::MAX); n];
+        for (i, &name) in names.iter().enumerate() {
+            assert!(name.index() < n, "name {name} out of range");
+            assert_eq!(node_of[name.index()], NodeId(u32::MAX), "duplicate name {name}");
+            node_of[name.index()] = NodeId::from_index(i);
+        }
+        NamingAssignment { name_of: names, node_of }
+    }
+
+    /// Number of nodes/names.
+    pub fn len(&self) -> usize {
+        self.name_of.len()
+    }
+
+    /// True when the assignment is empty (never the case for valid graphs).
+    pub fn is_empty(&self) -> bool {
+        self.name_of.is_empty()
+    }
+
+    /// The name of node `v`.
+    pub fn name_of(&self, v: NodeId) -> NodeName {
+        self.name_of[v.index()]
+    }
+
+    /// The node carrying `name`.
+    pub fn node_of(&self, name: NodeName) -> NodeId {
+        self.node_of[name.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_reversed() {
+        let id = NamingAssignment::identity(5);
+        assert_eq!(id.name_of(NodeId(3)), NodeName(3));
+        assert_eq!(id.node_of(NodeName(3)), NodeId(3));
+        let rev = NamingAssignment::reversed(5);
+        assert_eq!(rev.name_of(NodeId(0)), NodeName(4));
+        assert_eq!(rev.node_of(NodeName(4)), NodeId(0));
+    }
+
+    #[test]
+    fn random_is_a_bijection_and_seeded() {
+        let a = NamingAssignment::random(100, 7);
+        let b = NamingAssignment::random(100, 7);
+        let c = NamingAssignment::random(100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for i in 0..100u32 {
+            assert_eq!(a.node_of(a.name_of(NodeId(i))), NodeId(i));
+            assert_eq!(a.name_of(a.node_of(NodeName(i))), NodeName(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate name")]
+    fn rejects_non_permutations() {
+        NamingAssignment::from_names(vec![NodeName(0), NodeName(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_names() {
+        NamingAssignment::from_names(vec![NodeName(0), NodeName(7)]);
+    }
+}

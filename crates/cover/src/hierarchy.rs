@@ -1,0 +1,340 @@
+//! The hierarchical double-tree cover of Theorem 13 (one cover per scale).
+
+use crate::partial::{cover_balls, BallCover};
+use rtr_graph::{DiGraph, Distance, NodeId};
+use rtr_metric::DistanceMatrix;
+use rtr_trees::{DoubleTree, TreeRouter};
+
+/// Globally unique identifier of a double-tree inside a [`DoubleTreeCover`]:
+/// the level (scale index) and the tree's index within that level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TreeId {
+    /// Level index (0 = smallest scale).
+    pub level: u16,
+    /// Index of the tree within its level.
+    pub index: u32,
+}
+
+impl TreeId {
+    /// Number of bits needed to write a tree id in a packet header or table,
+    /// given the number of levels and the maximum number of trees per level.
+    pub fn bits(levels: usize, max_trees: usize) -> usize {
+        let lb = usize::BITS as usize - levels.max(2).leading_zeros() as usize;
+        let tb = usize::BITS as usize - max_trees.max(2).leading_zeros() as usize;
+        lb + tb
+    }
+}
+
+/// One level of the hierarchy: the sparse cover at scale `2^i`, a double tree
+/// per cluster (rooted at the cluster's seed node), and a compact tree router
+/// per double tree.
+#[derive(Debug)]
+pub struct LevelCover {
+    /// The scale `2^i` this level covers.
+    pub scale: Distance,
+    /// The underlying ball cover (Theorem 10 at radius `scale`).
+    pub cover: BallCover,
+    /// One double tree per cluster, in cluster order.
+    pub trees: Vec<DoubleTree>,
+    /// Compact root-to-member routing for each tree's out-component.
+    pub routers: Vec<TreeRouter>,
+}
+
+impl LevelCover {
+    fn build(g: &DiGraph, m: &DistanceMatrix, k: u32, scale: Distance) -> Self {
+        let cover = cover_balls(m, k, scale);
+        let mut trees = Vec::with_capacity(cover.clusters.len());
+        let mut routers = Vec::with_capacity(cover.clusters.len());
+        for (ci, cluster) in cover.clusters.iter().enumerate() {
+            let root = cover.seeds[ci];
+            let dt = DoubleTree::build(g, root, Some(cluster));
+            let router = TreeRouter::build(dt.out_tree());
+            trees.push(dt);
+            routers.push(router);
+        }
+        LevelCover { scale, cover, trees, routers }
+    }
+
+    /// The home double-tree index of `v` at this level (guaranteed to span
+    /// `v`'s whole roundtrip ball of radius `scale`).
+    pub fn home(&self, v: NodeId) -> usize {
+        self.cover.home[v.index()]
+    }
+
+    /// The indices of every double tree containing `v` at this level.
+    pub fn membership(&self, v: NodeId) -> &[usize] {
+        &self.cover.membership[v.index()]
+    }
+
+    /// Largest per-node membership at this level.
+    pub fn max_membership(&self) -> usize {
+        self.cover.max_membership()
+    }
+}
+
+/// The full hierarchy of Theorem 13: levels at scales `2, 4, 8, …` up to (and
+/// including) the first power of two ≥ `RTDiam(G)`.
+///
+/// At the top level every node's ball is the whole vertex set, so each node's
+/// home tree there spans all of `V` — which is what guarantees that the §4
+/// routing scheme and the handshake substrate always terminate.
+#[derive(Debug)]
+pub struct DoubleTreeCover {
+    k: u32,
+    levels: Vec<LevelCover>,
+}
+
+impl DoubleTreeCover {
+    /// Builds the hierarchy for sparseness parameter `k ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or the graph is not strongly connected.
+    pub fn build(g: &DiGraph, m: &DistanceMatrix, k: u32) -> Self {
+        assert!(k >= 2, "DoubleTreeCover requires k >= 2");
+        assert!(m.all_finite(), "DoubleTreeCover requires a strongly connected graph");
+        let diam = m.roundtrip_diameter().max(1);
+        let mut levels = Vec::new();
+        let mut scale: Distance = 2;
+        loop {
+            levels.push(LevelCover::build(g, m, k, scale));
+            if scale >= diam {
+                break;
+            }
+            scale = scale.saturating_mul(2);
+        }
+        DoubleTreeCover { k, levels }
+    }
+
+    /// The sparseness parameter.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The levels, smallest scale first.
+    pub fn levels(&self) -> &[LevelCover] {
+        &self.levels
+    }
+
+    /// Number of levels (`⌈log₂ RTDiam(G)⌉`).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The double tree identified by `id`.
+    pub fn tree(&self, id: TreeId) -> &DoubleTree {
+        &self.levels[id.level as usize].trees[id.index as usize]
+    }
+
+    /// The compact router of the out-component of tree `id`.
+    pub fn router(&self, id: TreeId) -> &TreeRouter {
+        &self.levels[id.level as usize].routers[id.index as usize]
+    }
+
+    /// The home tree of `v` at `level`.
+    pub fn home_tree_id(&self, v: NodeId, level: usize) -> TreeId {
+        TreeId { level: level as u16, index: self.levels[level].home(v) as u32 }
+    }
+
+    /// Every tree (over all levels) containing `v`.
+    pub fn trees_containing(&self, v: NodeId) -> Vec<TreeId> {
+        let mut out = Vec::new();
+        for (li, level) in self.levels.iter().enumerate() {
+            for &ti in level.membership(v) {
+                out.push(TreeId { level: li as u16, index: ti as u32 });
+            }
+        }
+        out
+    }
+
+    /// Total number of tree memberships of `v` across all levels — the
+    /// quantity bounded by `2k·n^{1/k}·⌈log RTDiam⌉` in the paper's storage
+    /// analysis.
+    pub fn membership_count(&self, v: NodeId) -> usize {
+        self.levels.iter().map(|l| l.membership(v).len()).sum()
+    }
+
+    /// The best (lowest-level, hence smallest-height) tree containing both `u`
+    /// and `v`, together with the cost of routing `u → root → v` inside it.
+    ///
+    /// This is the "handshake" information `R2(u, v)` of §3.2: the name of the
+    /// most convenient double tree for the pair plus the topology-dependent
+    /// addresses inside it. Returns `None` only if no common tree exists,
+    /// which cannot happen for a strongly connected graph because the top
+    /// level's home tree of `u` spans every node.
+    pub fn best_common_tree(&self, u: NodeId, v: NodeId) -> Option<(TreeId, Distance)> {
+        let mut best: Option<(TreeId, Distance)> = None;
+        for (li, level) in self.levels.iter().enumerate() {
+            for &ti in level.membership(u) {
+                let dt = &level.trees[ti];
+                if dt.contains(v) && dt.contains(u) {
+                    let cost = dt
+                        .route_cost_through_root(u, v)
+                        .saturating_add(dt.route_cost_through_root(v, u));
+                    let id = TreeId { level: li as u16, index: ti as u32 };
+                    if best.map_or(true, |(_, c)| cost < c) {
+                        best = Some((id, cost));
+                    }
+                }
+            }
+            if best.is_some() {
+                // Lower levels have smaller height bounds; once a common tree
+                // is found at the smallest possible level, higher levels can
+                // only be worse by the (2k-1)·2^i height guarantee, but we
+                // still scan one extra level to smooth out seed-choice noise.
+                if li + 1 < self.levels.len() && best.map_or(false, |(id, _)| (id.level as usize) < li) {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// The maximum per-node membership over all levels and nodes.
+    pub fn max_membership_per_level(&self) -> usize {
+        self.levels.iter().map(LevelCover::max_membership).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partial::roundtrip_ball;
+    use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp};
+
+    fn build(n: usize, seed: u64, k: u32) -> (DiGraph, DistanceMatrix, DoubleTreeCover) {
+        let g = strongly_connected_gnp(n, 0.1, seed).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let c = DoubleTreeCover::build(&g, &m, k);
+        (g, m, c)
+    }
+
+    #[test]
+    fn top_level_home_tree_spans_everything() {
+        let (g, _m, c) = build(40, 1, 2);
+        let top = c.level_count() - 1;
+        for v in g.nodes() {
+            let id = c.home_tree_id(v, top);
+            let tree = c.tree(id);
+            assert_eq!(tree.len(), g.node_count(), "top home tree of {v} does not span V");
+        }
+    }
+
+    #[test]
+    fn theorem_13_property_1_home_tree_contains_ball() {
+        let (g, m, c) = build(36, 2, 2);
+        for (li, level) in c.levels().iter().enumerate() {
+            for v in g.nodes() {
+                let ball = roundtrip_ball(&m, v, level.scale);
+                let id = c.home_tree_id(v, li);
+                let tree = c.tree(id);
+                for w in ball.iter() {
+                    assert!(
+                        tree.contains(w),
+                        "level {li}: home tree of {v} misses {w} from its ball"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_13_property_2_rt_height_bound() {
+        let (_g, _m, c) = build(36, 3, 2);
+        let k = 2u64;
+        for level in c.levels() {
+            for tree in &level.trees {
+                assert!(
+                    tree.rt_height() <= (2 * k - 1) * level.scale,
+                    "RTHeight {} exceeds (2k-1)*scale = {}",
+                    tree.rt_height(),
+                    (2 * k - 1) * level.scale
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_13_property_3_membership_bound() {
+        let (g, _m, c) = build(48, 4, 2);
+        let n = g.node_count() as f64;
+        let bound = (2.0 * 2.0 * n.powf(0.5)).ceil() as usize;
+        for level in c.levels() {
+            for v in g.nodes() {
+                assert!(level.membership(v).len() <= bound);
+            }
+        }
+    }
+
+    #[test]
+    fn home_tree_contains_owner_at_every_level() {
+        let (g, _m, c) = build(30, 5, 3);
+        for li in 0..c.level_count() {
+            for v in g.nodes() {
+                let id = c.home_tree_id(v, li);
+                assert!(c.tree(id).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn best_common_tree_exists_and_cost_bounded_by_heights() {
+        let (g, m, c) = build(32, 6, 2);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let (id, cost) = c.best_common_tree(u, v).expect("common tree must exist");
+                let tree = c.tree(id);
+                assert!(tree.contains(u) && tree.contains(v));
+                assert!(cost <= 4 * tree.rt_height());
+                // The handshake cost bounds a real roundtrip, so it is at
+                // least the true roundtrip distance.
+                assert!(cost >= m.roundtrip(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn scales_double_and_reach_the_diameter() {
+        let (_g, m, c) = build(40, 7, 2);
+        let scales: Vec<Distance> = c.levels().iter().map(|l| l.scale).collect();
+        for w in scales.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        assert!(*scales.last().unwrap() >= m.roundtrip_diameter());
+        assert_eq!(scales[0], 2);
+    }
+
+    #[test]
+    fn storage_accounting_is_polylog_times_sqrt_n_for_k2() {
+        // Experiment E7's headline: total memberships per node is
+        // O(k n^{1/k} log RTDiam). Check the explicit bound.
+        let (g, m, c) = build(64, 8, 2);
+        let n = g.node_count() as f64;
+        let levels = (m.roundtrip_diameter() as f64).log2().ceil() as usize + 1;
+        let bound = (2.0 * 2.0 * n.sqrt()).ceil() as usize * levels;
+        for v in g.nodes() {
+            assert!(c.membership_count(v) <= bound);
+        }
+    }
+
+    #[test]
+    fn works_on_grid_graphs() {
+        let g = bidirected_grid(5, 5, 9).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let c = DoubleTreeCover::build(&g, &m, 2);
+        assert!(c.level_count() >= 2);
+        let top = c.level_count() - 1;
+        for v in g.nodes() {
+            assert_eq!(c.tree(c.home_tree_id(v, top)).len(), g.node_count());
+        }
+    }
+
+    #[test]
+    fn tree_id_bit_accounting() {
+        assert!(TreeId::bits(16, 1024) <= 16);
+        assert!(TreeId::bits(1, 1) >= 2);
+    }
+}

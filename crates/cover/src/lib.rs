@@ -1,0 +1,34 @@
+//! # rtr-cover — sparse roundtrip covers and double-tree covers
+//!
+//! Implements the cover machinery of paper §4:
+//!
+//! * [`partial_cover`] — Algorithm *PartialCover(R, k)* (Fig. 7), the
+//!   Awerbuch–Peleg partial-cover subroutine generalized to an arbitrary
+//!   distance metric over a directed graph.
+//! * [`cover_balls`] — Algorithm *Cover(G, k, d)* (Fig. 8): repeatedly calls
+//!   `PartialCover` until every ball `N̂ᵈ(v)` is subsumed by some output
+//!   cluster, yielding the guarantees of **Theorem 10**: every ball is
+//!   contained in a cluster, cluster radius ≤ (2k−1)·d, and every vertex is in
+//!   at most 2k·n^{1/k} clusters.
+//! * [`DoubleTreeCover`] — the hierarchy of **Theorem 13**: one cover per
+//!   scale `2^i` for `i = 1 … ⌈log RTDiam(G)⌉`, a [`rtr_trees::DoubleTree`]
+//!   per cluster, a *home double-tree* per node and level, and per-tree
+//!   compact tree routers.
+//! * [`CoverStats`] — the measured quantities (per-node membership, radius
+//!   blow-up) that experiment E7 compares against the theorem's bounds.
+//!
+//! All constructions are deterministic given the input graph.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hierarchy;
+mod nodeset;
+mod partial;
+mod stats;
+
+pub use hierarchy::{DoubleTreeCover, LevelCover, TreeId};
+pub use nodeset::NodeSet;
+pub use partial::{cover_balls, partial_cover, BallCover, PartialCoverOutput};
+pub use stats::CoverStats;

@@ -1,0 +1,186 @@
+//! A compact bitset over node ids, used heavily by the cover constructions.
+
+use rtr_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-universe set of [`NodeId`]s backed by a bit vector.
+///
+/// The cover algorithms of §4 repeatedly intersect and merge clusters; doing
+/// this on sorted vectors would dominate the construction time, so clusters
+/// are manipulated as bitsets and only converted to sorted vectors at the end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSet {
+    n: usize,
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        NodeSet { n, words: vec![0; n.div_ceil(64)], len: 0 }
+    }
+
+    /// Builds a set from an iterator of nodes.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(n: usize, nodes: I) -> Self {
+        let mut s = NodeSet::new(n);
+        for v in nodes {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        assert!(v.index() < self.n, "node outside universe");
+        self.words[v.index() / 64] & (1u64 << (v.index() % 64)) != 0
+    }
+
+    /// Inserts `v`; returns true if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        assert!(v.index() < self.n, "node outside universe");
+        let w = &mut self.words[v.index() / 64];
+        let mask = 1u64 << (v.index() % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        assert!(v.index() < self.n, "node outside universe");
+        let w = &mut self.words[v.index() / 64];
+        let mask = 1u64 << (v.index() % 64);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the two sets share at least one member.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// True when every member of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &NodeSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Merges `other` into `self`.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+
+    /// Iterates over members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(NodeId::from_index(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// Members as a sorted vector.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(100);
+        assert!(s.is_empty());
+        assert!(s.insert(NodeId(5)));
+        assert!(!s.insert(NodeId(5)));
+        assert!(s.contains(NodeId(5)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(NodeId(5)));
+        assert!(!s.remove(NodeId(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let nodes = [3u32, 64, 65, 99, 0, 17];
+        let s = NodeSet::from_nodes(100, nodes.iter().map(|&i| NodeId(i)));
+        let got = s.to_vec();
+        let mut want: Vec<NodeId> = nodes.iter().map(|&i| NodeId(i)).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn intersection_and_subset() {
+        let a = NodeSet::from_nodes(200, [NodeId(1), NodeId(100), NodeId(150)]);
+        let b = NodeSet::from_nodes(200, [NodeId(2), NodeId(100)]);
+        let c = NodeSet::from_nodes(200, [NodeId(100)]);
+        assert!(a.intersects(&b));
+        assert!(c.is_subset_of(&a));
+        assert!(c.is_subset_of(&b));
+        assert!(!a.is_subset_of(&b));
+        let d = NodeSet::from_nodes(200, [NodeId(7)]);
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn union_counts_correctly() {
+        let mut a = NodeSet::from_nodes(128, [NodeId(0), NodeId(64)]);
+        let b = NodeSet::from_nodes(128, [NodeId(64), NodeId(127)]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(NodeId(127)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn out_of_universe_panics() {
+        let s = NodeSet::new(10);
+        s.contains(NodeId(10));
+    }
+}

@@ -1,0 +1,372 @@
+//! Single-source shortest paths (Dijkstra) in forward and reverse direction.
+//!
+//! Both directions are needed throughout the reproduction: the roundtrip
+//! distance `r(u,v) = d(u,v) + d(v,u)` (paper §1.1) combines a forward
+//! single-source run from `u` with a *reverse* run from `u` on the transposed
+//! adjacency (giving `d(·, u)` for all sources).
+
+use crate::graph::DiGraph;
+use crate::types::{Distance, NodeId, Port, Weight, INFINITY};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The result of a single-source (or single-sink) shortest path computation.
+///
+/// For a *forward* run from root `r`, `dist[v] = d(r, v)` and `parent[v]` is
+/// the predecessor of `v` on a shortest `r → v` path (so following parents
+/// from `v` leads back to `r`). `parent_port[v]` is the fixed-port label of
+/// the edge `parent[v] → v` at `parent[v]` — exactly what a routing table
+/// needs to store to forward *away* from the root along the tree.
+///
+/// For a *reverse* run (single sink `r`), `dist[v] = d(v, r)` and `parent[v]`
+/// is the successor of `v` on a shortest `v → r` path; `parent_port[v]` is the
+/// port of the edge `v → parent[v]` at `v` — what `v` stores to forward
+/// *toward* the root.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// The root (forward) or sink (reverse) of the computation.
+    pub root: NodeId,
+    /// `dist[v]`: distance from the root to `v` (forward) or from `v` to the
+    /// root (reverse). [`INFINITY`] when unreachable.
+    pub dist: Vec<Distance>,
+    /// Tree parent of each node (`None` for the root and unreachable nodes).
+    pub parent: Vec<Option<NodeId>>,
+    /// Port of the tree edge adjacent to the parent (forward) or to the node
+    /// itself (reverse); see the struct docs.
+    pub parent_port: Vec<Option<Port>>,
+    /// True when this tree was produced by [`dijkstra_reverse`].
+    pub reverse: bool,
+}
+
+impl ShortestPathTree {
+    /// Distance to (or from) `v`.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.dist[v.index()]
+    }
+
+    /// Whether `v` is reachable from the root (forward) or reaches the root
+    /// (reverse).
+    #[inline]
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != INFINITY
+    }
+
+    /// Reconstructs the node sequence of the tree path for `v`.
+    ///
+    /// Forward trees return the path `root → … → v`; reverse trees return the
+    /// path `v → … → root`. Returns `None` if `v` is unreachable.
+    pub fn path(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut seq = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            seq.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.root);
+        if !self.reverse {
+            seq.reverse();
+        }
+        Some(seq)
+    }
+
+    /// Number of reachable nodes, including the root.
+    pub fn reachable_count(&self) -> usize {
+        self.dist.iter().filter(|&&d| d != INFINITY).count()
+    }
+}
+
+/// Entry of the priority queue. Ordered by distance then node id, so that runs
+/// are fully deterministic regardless of heap tie-breaking.
+type HeapEntry = Reverse<(Distance, u32)>;
+
+/// Forward Dijkstra from `source`, restricted to an optional node filter.
+///
+/// When `filter` is `Some(f)`, only nodes `v` with `f(v) == true` are relaxed
+/// or settled (the source is always settled); this is used to build
+/// shortest-path trees *inside a cluster* for the cover constructions of
+/// paper §4, where paths must stay within the cluster's induced subgraph.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn dijkstra_filtered(
+    g: &DiGraph,
+    source: NodeId,
+    filter: Option<&dyn Fn(NodeId) -> bool>,
+) -> ShortestPathTree {
+    let n = g.node_count();
+    assert!(source.index() < n, "source out of range");
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut parent_port: Vec<Option<Port>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+    dist[source.index()] = 0;
+    heap.push(Reverse((0, source.0)));
+
+    while let Some(Reverse((d, u_raw))) = heap.pop() {
+        let u = NodeId(u_raw);
+        if settled[u.index()] {
+            continue;
+        }
+        if d > dist[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for e in g.out_edges(u) {
+            let v = e.to;
+            if let Some(f) = filter {
+                if !f(v) {
+                    continue;
+                }
+            }
+            let nd = d.saturating_add(e.weight);
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent[v.index()] = Some(u);
+                parent_port[v.index()] = Some(e.port);
+                heap.push(Reverse((nd, v.0)));
+            } else if nd == dist[v.index()] {
+                // Deterministic tie-break: prefer the smaller parent id so
+                // that repeated builds give identical trees.
+                if let Some(p) = parent[v.index()] {
+                    if u < p {
+                        parent[v.index()] = Some(u);
+                        parent_port[v.index()] = Some(e.port);
+                    }
+                }
+            }
+        }
+    }
+
+    ShortestPathTree { root: source, dist, parent, parent_port, reverse: false }
+}
+
+/// Forward Dijkstra from `source` over the whole graph.
+pub fn dijkstra(g: &DiGraph, source: NodeId) -> ShortestPathTree {
+    dijkstra_filtered(g, source, None)
+}
+
+/// Reverse (single-sink) Dijkstra: computes `d(v, sink)` for every `v`.
+///
+/// The relaxation walks the *in*-edges of the graph. For every node `v` the
+/// resulting `parent[v]` is the next node after `v` on a shortest `v → sink`
+/// path and `parent_port[v]` is the out-port of `v` leading to it — i.e. the
+/// entry `v` stores to route toward the sink (the `InTree` of paper §3.2).
+///
+/// # Panics
+///
+/// Panics if `sink` is out of range.
+pub fn dijkstra_reverse_filtered(
+    g: &DiGraph,
+    sink: NodeId,
+    filter: Option<&dyn Fn(NodeId) -> bool>,
+) -> ShortestPathTree {
+    let n = g.node_count();
+    assert!(sink.index() < n, "sink out of range");
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut parent_port: Vec<Option<Port>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+    dist[sink.index()] = 0;
+    heap.push(Reverse((0, sink.0)));
+
+    while let Some(Reverse((d, u_raw))) = heap.pop() {
+        let u = NodeId(u_raw);
+        if settled[u.index()] {
+            continue;
+        }
+        if d > dist[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        // Relax in-edges: for an edge (w -> u), a path w -> u -> ... -> sink.
+        for &(w, weight) in g.in_edges(u) {
+            if let Some(f) = filter {
+                if !f(w) {
+                    continue;
+                }
+            }
+            let nd = d.saturating_add(weight);
+            if nd < dist[w.index()] {
+                dist[w.index()] = nd;
+                parent[w.index()] = Some(u);
+                parent_port[w.index()] = g.port_of_edge(w, u);
+                heap.push(Reverse((nd, w.0)));
+            } else if nd == dist[w.index()] {
+                if let Some(p) = parent[w.index()] {
+                    if u < p {
+                        parent[w.index()] = Some(u);
+                        parent_port[w.index()] = g.port_of_edge(w, u);
+                    }
+                }
+            }
+        }
+    }
+
+    ShortestPathTree { root: sink, dist, parent, parent_port, reverse: true }
+}
+
+/// Reverse Dijkstra over the whole graph (see [`dijkstra_reverse_filtered`]).
+pub fn dijkstra_reverse(g: &DiGraph, sink: NodeId) -> ShortestPathTree {
+    dijkstra_reverse_filtered(g, sink, None)
+}
+
+/// Computes the weight of the path described by the node sequence `path`.
+///
+/// Returns `None` if the sequence uses a missing edge or is empty.
+pub fn path_weight(g: &DiGraph, path: &[NodeId]) -> Option<Weight> {
+    if path.is_empty() {
+        return None;
+    }
+    let mut total: Weight = 0;
+    for w in path.windows(2) {
+        total = total.checked_add(g.edge_weight(w[0], w[1])?)?;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiGraphBuilder;
+
+    /// A small asymmetric strongly connected digraph used by several tests.
+    ///
+    /// Edges: 0→1 (1), 1→2 (2), 2→0 (4), 0→2 (10), 2→1 (1), 1→0 (7)
+    fn asym() -> DiGraph {
+        let mut b = DiGraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 4).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 10).unwrap();
+        b.add_edge(NodeId(2), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 7).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forward_distances() {
+        let g = asym();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(0)), 0);
+        assert_eq!(t.distance(NodeId(1)), 1);
+        assert_eq!(t.distance(NodeId(2)), 3); // 0→1→2
+    }
+
+    #[test]
+    fn reverse_distances() {
+        let g = asym();
+        let t = dijkstra_reverse(&g, NodeId(0));
+        // d(1, 0): 1→2→0 = 6 vs 1→0 = 7 → 6
+        assert_eq!(t.distance(NodeId(1)), 6);
+        assert_eq!(t.distance(NodeId(2)), 4);
+        assert_eq!(t.distance(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn forward_path_reconstruction() {
+        let g = asym();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.path(NodeId(2)).unwrap(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(path_weight(&g, &t.path(NodeId(2)).unwrap()), Some(3));
+    }
+
+    #[test]
+    fn reverse_path_reconstruction() {
+        let g = asym();
+        let t = dijkstra_reverse(&g, NodeId(0));
+        // Path from 1 to 0 should be 1→2→0.
+        assert_eq!(t.path(NodeId(1)).unwrap(), vec![NodeId(1), NodeId(2), NodeId(0)]);
+        assert_eq!(path_weight(&g, &t.path(NodeId(1)).unwrap()), Some(6));
+    }
+
+    #[test]
+    fn reverse_parent_ports_point_along_path() {
+        let g = asym();
+        let t = dijkstra_reverse(&g, NodeId(0));
+        // Node 1's next hop toward 0 is node 2; the stored port must label
+        // edge (1, 2) at node 1.
+        let port = t.parent_port[1].unwrap();
+        let e = g.edge_by_port(NodeId(1), port).unwrap();
+        assert_eq!(e.to, NodeId(2));
+    }
+
+    #[test]
+    fn forward_parent_ports_label_parent_edges() {
+        let g = asym();
+        let t = dijkstra(&g, NodeId(0));
+        // Node 2's parent is 1; parent_port must label edge (1, 2) at node 1.
+        assert_eq!(t.parent[2], Some(NodeId(1)));
+        let e = g.edge_by_port(NodeId(1), t.parent_port[2].unwrap()).unwrap();
+        assert_eq!(e.to, NodeId(2));
+    }
+
+    #[test]
+    fn unreachable_nodes_get_infinity() {
+        let mut b = DiGraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        // Node 2 unreachable from 0.
+        b.add_edge(NodeId(2), NodeId(0), 1).unwrap();
+        let g = b.build().unwrap();
+        let t = dijkstra(&g, NodeId(0));
+        assert!(!t.is_reachable(NodeId(2)));
+        assert_eq!(t.path(NodeId(2)), None);
+        assert_eq!(t.reachable_count(), 2);
+    }
+
+    #[test]
+    fn filtered_dijkstra_respects_the_filter() {
+        let g = asym();
+        // Forbid node 1: distance 0→2 must use the direct edge of weight 10.
+        let allowed = |v: NodeId| v != NodeId(1);
+        let t = dijkstra_filtered(&g, NodeId(0), Some(&allowed));
+        assert_eq!(t.distance(NodeId(2)), 10);
+        assert_eq!(t.distance(NodeId(1)), INFINITY);
+    }
+
+    #[test]
+    fn filtered_reverse_dijkstra_respects_the_filter() {
+        let g = asym();
+        let allowed = |v: NodeId| v != NodeId(2);
+        let t = dijkstra_reverse_filtered(&g, NodeId(0), Some(&allowed));
+        // d(1, 0) avoiding 2: direct edge weight 7.
+        assert_eq!(t.distance(NodeId(1)), 7);
+    }
+
+    #[test]
+    fn path_weight_rejects_non_paths() {
+        let g = asym();
+        assert_eq!(path_weight(&g, &[]), None);
+        assert_eq!(path_weight(&g, &[NodeId(0), NodeId(0)]), None);
+        assert_eq!(path_weight(&g, &[NodeId(0)]), Some(0));
+    }
+
+    #[test]
+    fn forward_and_reverse_agree_on_pairs() {
+        let g = asym();
+        for u in g.nodes() {
+            let fwd = dijkstra(&g, u);
+            for v in g.nodes() {
+                let rev = dijkstra_reverse(&g, v);
+                assert_eq!(fwd.distance(v), rev.distance(u), "d({u},{v}) mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_repeated_runs() {
+        let g = asym();
+        let a = dijkstra(&g, NodeId(2));
+        let b = dijkstra(&g, NodeId(2));
+        assert_eq!(a.dist, b.dist);
+        assert_eq!(a.parent, b.parent);
+    }
+}

@@ -1,0 +1,127 @@
+//! Floyd–Warshall all-pairs shortest paths.
+//!
+//! This is the *oracle* implementation used by tests and small experiments to
+//! validate the Dijkstra-based distance machinery and the stretch accounting.
+//! It is O(n³) and should only be used on small graphs; the production
+//! all-pairs code lives in `rtr-metric` and runs `n` Dijkstras in parallel.
+
+use crate::graph::DiGraph;
+use crate::types::{Distance, NodeId, INFINITY};
+
+/// Dense all-pairs distance matrix: `dist(u, v) = matrix[u.index()][v.index()]`.
+///
+/// Unreachable pairs hold [`INFINITY`]; the diagonal is zero.
+pub fn floyd_warshall(g: &DiGraph) -> Vec<Vec<Distance>> {
+    let n = g.node_count();
+    let mut dist = vec![vec![INFINITY; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            let cur = &mut dist[u.index()][e.to.index()];
+            if e.weight < *cur {
+                *cur = e.weight;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i][k];
+            if dik == INFINITY {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = dist[k][j];
+                if dkj == INFINITY {
+                    continue;
+                }
+                let through = dik + dkj;
+                if through < dist[i][j] {
+                    dist[i][j] = through;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Convenience lookup into a Floyd–Warshall matrix.
+pub fn matrix_distance(matrix: &[Vec<Distance>], u: NodeId, v: NodeId) -> Distance {
+    matrix[u.index()][v.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::dijkstra::dijkstra;
+    use crate::graph::DiGraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_dijkstra_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..10 {
+            let n = 12 + trial;
+            let mut b = DiGraphBuilder::new(n);
+            // Cycle to guarantee strong connectivity.
+            for i in 0..n as u32 {
+                b.add_edge(NodeId(i), NodeId((i + 1) % n as u32), rng.gen_range(1..20)).unwrap();
+            }
+            for _ in 0..3 * n {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), rng.gen_range(1..20)).unwrap();
+                }
+            }
+            let g = b.build().unwrap();
+            let fw = floyd_warshall(&g);
+            for u in g.nodes() {
+                let t = dijkstra(&g, u);
+                for v in g.nodes() {
+                    assert_eq!(
+                        t.distance(v),
+                        matrix_distance(&fw, u, v),
+                        "mismatch for ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_zero_and_unreachable_is_infinity() {
+        let mut b = DiGraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 5).unwrap();
+        let g = b.build().unwrap();
+        let fw = floyd_warshall(&g);
+        assert_eq!(fw[0][0], 0);
+        assert_eq!(fw[0][1], 5);
+        assert_eq!(fw[1][0], INFINITY);
+        assert_eq!(fw[0][2], INFINITY);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let mut b = DiGraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 10).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 1).unwrap();
+        let g = b.build().unwrap();
+        let fw = floyd_warshall(&g);
+        assert_eq!(fw[0][2], 4, "must prefer 0→1→2 over the direct edge");
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    if fw[i][k] != INFINITY && fw[k][j] != INFINITY && fw[i][j] != INFINITY {
+                        assert!(fw[i][j] <= fw[i][k] + fw[k][j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Unweighted traversals: BFS, DFS, reachability helpers.
+
+use crate::graph::DiGraph;
+use crate::types::NodeId;
+use std::collections::VecDeque;
+
+/// Nodes reachable from `source` (including `source`), in BFS order.
+pub fn bfs_order(g: &DiGraph, source: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for e in g.out_edges(u) {
+            if !visited[e.to.index()] {
+                visited[e.to.index()] = true;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `source` (including `source`), in iterative
+/// preorder DFS order.
+pub fn dfs_order(g: &DiGraph, source: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if visited[u.index()] {
+            continue;
+        }
+        visited[u.index()] = true;
+        order.push(u);
+        // Push in reverse so the first out-edge is explored first.
+        for e in g.out_edges(u).iter().rev() {
+            if !visited[e.to.index()] {
+                stack.push(e.to);
+            }
+        }
+    }
+    order
+}
+
+/// The set of nodes reachable from `source` as a boolean vector indexed by node.
+pub fn reachable_from(g: &DiGraph, source: NodeId) -> Vec<bool> {
+    let mut reach = vec![false; g.node_count()];
+    for v in bfs_order(g, source) {
+        reach[v.index()] = true;
+    }
+    reach
+}
+
+/// True when every node of the graph is reachable from `source`.
+pub fn reaches_all(g: &DiGraph, source: NodeId) -> bool {
+    bfs_order(g, source).len() == g.node_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiGraphBuilder;
+
+    fn diamond() -> DiGraph {
+        // 0 → {1,2} → 3, plus 3 → 0 to close the cycle.
+        let mut b = DiGraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        b.add_edge(NodeId(3), NodeId(0), 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_visits_every_reachable_node_once() {
+        let g = diamond();
+        let order = bfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], NodeId(0));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn bfs_respects_level_order() {
+        let g = diamond();
+        let order = bfs_order(&g, NodeId(0));
+        let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(NodeId(1)) < pos(NodeId(3)));
+        assert!(pos(NodeId(2)) < pos(NodeId(3)));
+    }
+
+    #[test]
+    fn dfs_visits_every_reachable_node_once() {
+        let g = diamond();
+        let order = dfs_order(&g, NodeId(0));
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn dfs_explores_first_edge_first() {
+        let g = diamond();
+        let order = dfs_order(&g, NodeId(0));
+        // First out-edge of 0 goes to 1 (insertion order), so 1 precedes 2.
+        let pos = |v: NodeId| order.iter().position(|&x| x == v).unwrap();
+        assert!(pos(NodeId(1)) < pos(NodeId(2)));
+    }
+
+    #[test]
+    fn reachability_on_disconnected_graph() {
+        let mut b = DiGraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        let g = b.build().unwrap();
+        let reach = reachable_from(&g, NodeId(0));
+        assert_eq!(reach, vec![true, true, false, false]);
+        assert!(!reaches_all(&g, NodeId(0)));
+    }
+
+    #[test]
+    fn reaches_all_on_cycle() {
+        let g = diamond();
+        for v in g.nodes() {
+            assert!(reaches_all(&g, v));
+        }
+    }
+}

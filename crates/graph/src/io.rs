@@ -1,0 +1,154 @@
+//! Graph import/export: Graphviz DOT, JSON, and a simple edge-list format.
+
+use crate::graph::{DiGraph, DiGraphBuilder, PortAssignment};
+use crate::types::NodeId;
+use crate::{GraphError, Result};
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT syntax (directed, weights as labels).
+pub fn to_dot(g: &DiGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph G {\n");
+    for u in g.nodes() {
+        let _ = writeln!(out, "  {};", u.0);
+    }
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            let _ = writeln!(out, "  {} -> {} [label=\"{}\", port=\"{}\"];", u.0, e.to.0, e.weight, e.port.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes the graph to JSON.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Serde`] if serialization fails (it does not for valid graphs).
+pub fn to_json(g: &DiGraph) -> Result<String> {
+    serde_json::to_string(g).map_err(|e| GraphError::Serde(e.to_string()))
+}
+
+/// Deserializes a graph from JSON produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Serde`] if the JSON is malformed.
+pub fn from_json(json: &str) -> Result<DiGraph> {
+    serde_json::from_str(json).map_err(|e| GraphError::Serde(e.to_string()))
+}
+
+/// Renders the graph as a plain edge list: one `from to weight` triple per
+/// line, preceded by a header line `n m`.
+pub fn to_edge_list(g: &DiGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{} {}", g.node_count(), g.edge_count());
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            let _ = writeln!(out, "{} {} {}", u.0, e.to.0, e.weight);
+        }
+    }
+    out
+}
+
+/// Parses the edge-list format produced by [`to_edge_list`]. Ports are
+/// assigned with [`PortAssignment::Consecutive`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Serde`] on malformed input, or the corresponding
+/// builder error on invalid edges.
+pub fn from_edge_list(text: &str) -> Result<DiGraph> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| GraphError::Serde("missing header".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| GraphError::Serde("bad node count".into()))?;
+    let m: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| GraphError::Serde("bad edge count".into()))?;
+    let mut b = DiGraphBuilder::new(n);
+    b.port_assignment(PortAssignment::Consecutive);
+    let mut count = 0;
+    for line in lines {
+        let mut it = line.split_whitespace();
+        let u: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GraphError::Serde(format!("bad edge line: {line}")))?;
+        let v: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GraphError::Serde(format!("bad edge line: {line}")))?;
+        let w: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GraphError::Serde(format!("bad edge line: {line}")))?;
+        b.add_edge(NodeId(u), NodeId(v), w)?;
+        count += 1;
+    }
+    if count != m {
+        return Err(GraphError::Serde(format!("expected {m} edges, found {count}")));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::strongly_connected_gnp;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let g = strongly_connected_gnp(10, 0.2, 1).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph G {"));
+        assert_eq!(dot.matches("->").count(), g.edge_count());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let g = strongly_connected_gnp(20, 0.1, 2).unwrap();
+        let json = to_json(&g).unwrap();
+        let g2 = from_json(&json).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for u in g.nodes() {
+            assert_eq!(g.out_edges(u), g2.out_edges(u));
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(from_json("not json"), Err(GraphError::Serde(_))));
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = strongly_connected_gnp(15, 0.15, 3).unwrap();
+        let text = to_edge_list(&g);
+        let g2 = from_edge_list(&text).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for u in g.nodes() {
+            for e in g.out_edges(u) {
+                assert_eq!(g2.edge_weight(u, e.to), Some(e.weight));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_rejects_bad_counts() {
+        let text = "2 5\n0 1 1\n";
+        assert!(matches!(from_edge_list(text), Err(GraphError::Serde(_))));
+    }
+
+    #[test]
+    fn edge_list_rejects_missing_header() {
+        assert!(matches!(from_edge_list("   \n"), Err(GraphError::Serde(_))));
+    }
+}

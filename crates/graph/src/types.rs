@@ -1,0 +1,153 @@
+//! Fundamental newtypes: node identifiers, ports, weights and distances.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside a [`crate::DiGraph`].
+///
+/// Internally nodes are always indexed `0..n`. In the topology-independent
+/// node-name (TINN) model the *names* seen by the routing layer are an
+/// adversarial permutation of these indices; that permutation lives in
+/// `rtr-core` / `rtr-dictionary`, not here. A `NodeId` is the *topological*
+/// index used by graph algorithms.
+///
+/// ```
+/// use rtr_graph::NodeId;
+/// let v = NodeId(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(format!("{v}"), "v7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as a `usize`, for indexing into per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not fit into a `u32` (graphs are limited to
+    /// `u32::MAX` nodes, far beyond anything exercised here).
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        NodeId(u32::try_from(idx).expect("node index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        NodeId(value)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(value: NodeId) -> Self {
+        value.0
+    }
+}
+
+/// An outgoing-edge port number in the fixed-port model (paper §1.1.3).
+///
+/// Port numbers are local to a node, unique among that node's out-edges, and
+/// chosen adversarially from a set of size `O(n)`; the same port number at two
+/// different nodes may lead to completely unrelated neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(pub u32);
+
+impl Port {
+    /// The raw port number.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Edge weight. Always strictly positive (validated by [`crate::DiGraphBuilder`]).
+pub type Weight = u64;
+
+/// A (possibly infinite) path length / distance value.
+pub type Distance = u64;
+
+/// Marker for "no path" distances.
+///
+/// Using `u64::MAX` keeps distance arithmetic branch-light; all code that adds
+/// to a distance first checks for `INFINITY` (see [`saturating_dist_add`]).
+pub const INFINITY: Distance = u64::MAX;
+
+/// Adds two distances treating [`INFINITY`] as absorbing.
+///
+/// ```
+/// use rtr_graph::{Distance, INFINITY};
+/// assert_eq!(rtr_graph::types::saturating_dist_add(2, 3), 5);
+/// assert_eq!(rtr_graph::types::saturating_dist_add(INFINITY, 3), INFINITY);
+/// ```
+#[inline]
+pub fn saturating_dist_add(a: Distance, b: Distance) -> Distance {
+    if a == INFINITY || b == INFINITY {
+        INFINITY
+    } else {
+        a.saturating_add(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn node_id_display_is_prefixed() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(Port(9).to_string(), "p9");
+    }
+
+    #[test]
+    fn node_id_conversions() {
+        let v: NodeId = 5u32.into();
+        assert_eq!(v, NodeId(5));
+        let raw: u32 = v.into();
+        assert_eq!(raw, 5);
+    }
+
+    #[test]
+    fn saturating_add_handles_infinity() {
+        assert_eq!(saturating_dist_add(1, 2), 3);
+        assert_eq!(saturating_dist_add(INFINITY, 2), INFINITY);
+        assert_eq!(saturating_dist_add(2, INFINITY), INFINITY);
+        assert_eq!(saturating_dist_add(INFINITY, INFINITY), INFINITY);
+    }
+
+    #[test]
+    fn saturating_add_does_not_wrap() {
+        assert_eq!(saturating_dist_add(INFINITY - 1, 10), INFINITY);
+    }
+
+    #[test]
+    fn node_id_ordering_matches_raw() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(Port(1) < Port(10));
+    }
+}

@@ -1,0 +1,41 @@
+//! # rtr-metric — the roundtrip distance metric and its derived structures
+//!
+//! Implements the metric machinery of paper §1.1 and §2:
+//!
+//! * the **roundtrip distance** `r(u, v) = d(u, v) + d(v, u)` — the minimum
+//!   cost of a directed tour from `u` through `v` and back (symmetric by
+//!   definition even though the underlying one-way distances are not);
+//! * the **total order** `≺_v` on nodes (`Init_v`): `u ≺_v w` iff
+//!   `r(v,u) < r(v,w)`, ties broken by `d(u,v)` and then by node id — this is
+//!   the exact three-level comparison of §2;
+//! * **neighborhood balls** `N_i(u)`: the first `n^{i/k}` nodes of `Init_u`;
+//! * all-pairs distances ([`DistanceMatrix`], parallel Dijkstra via
+//!   crossbeam scoped threads) and the roundtrip aggregates `RTDiam`,
+//!   `RTRad`, `RTCenter` on clusters (induced subgraphs), needed by the §4
+//!   cover construction.
+//!
+//! ```
+//! use rtr_graph::generators::strongly_connected_gnp;
+//! use rtr_metric::DistanceMatrix;
+//!
+//! # fn main() -> Result<(), rtr_graph::GraphError> {
+//! let g = strongly_connected_gnp(32, 0.2, 7)?;
+//! let m = DistanceMatrix::build(&g);
+//! let (u, v) = (rtr_graph::NodeId(0), rtr_graph::NodeId(5));
+//! assert_eq!(m.roundtrip(u, v), m.distance(u, v) + m.distance(v, u));
+//! assert_eq!(m.roundtrip(u, v), m.roundtrip(v, u));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod matrix;
+mod order;
+
+pub use cluster::ClusterMetric;
+pub use matrix::DistanceMatrix;
+pub use order::{roundtrip_closer, RoundtripOrder};

@@ -1,0 +1,240 @@
+//! The total order `≺_v` and the neighborhood balls `N_i(u)` of paper §2/§3.
+
+use crate::matrix::DistanceMatrix;
+use rtr_graph::NodeId;
+use std::cmp::Ordering;
+
+/// Compares `a` and `b` from the point of view of `v` by the paper's
+/// three-level rule (§2):
+///
+/// 1. smaller roundtrip distance `r(v, ·)` first,
+/// 2. ties broken by smaller `d(·, v)` (distance *to* `v`),
+/// 3. remaining ties broken by node id.
+///
+/// The result is a strict total order for every fixed `v`.
+pub fn roundtrip_closer(m: &DistanceMatrix, v: NodeId, a: NodeId, b: NodeId) -> Ordering {
+    let key = |x: NodeId| (m.roundtrip(v, x), m.distance(x, v), x.0);
+    key(a).cmp(&key(b))
+}
+
+/// The full order `Init_v` for every node `v`, plus prefix ("neighborhood
+/// ball") queries.
+///
+/// `Init_v` starts with `v` itself (its roundtrip distance to itself is 0) and
+/// lists all other nodes in `≺_v` order. The §2 scheme uses the first `√n`
+/// entries as `N(v)`; the §3 scheme uses the first `n^{i/k}` entries as
+/// `N_i(v)`.
+#[derive(Debug, Clone)]
+pub struct RoundtripOrder {
+    /// `orders[v][rank] = rank`-th closest node to `v` (rank 0 is `v`).
+    orders: Vec<Vec<NodeId>>,
+    /// `rank_of[v][u] = rank of u in Init_v` (inverse permutation).
+    rank_of: Vec<Vec<u32>>,
+}
+
+impl RoundtripOrder {
+    /// Computes `Init_v` for every `v` from a distance matrix.
+    pub fn build(m: &DistanceMatrix) -> Self {
+        let n = m.node_count();
+        let mut orders = Vec::with_capacity(n);
+        let mut rank_of = vec![vec![0u32; n]; n];
+        for vi in 0..n {
+            let v = NodeId::from_index(vi);
+            let mut nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+            nodes.sort_by(|&a, &b| roundtrip_closer(m, v, a, b));
+            for (rank, &u) in nodes.iter().enumerate() {
+                rank_of[vi][u.index()] = rank as u32;
+            }
+            orders.push(nodes);
+        }
+        RoundtripOrder { orders, rank_of }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// The full sequence `Init_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn init(&self, v: NodeId) -> &[NodeId] {
+        &self.orders[v.index()]
+    }
+
+    /// The neighborhood `N(v)` consisting of the first `size` nodes of
+    /// `Init_v` (including `v` itself). `size` is clamped to `n`.
+    pub fn neighborhood(&self, v: NodeId, size: usize) -> &[NodeId] {
+        let k = size.min(self.orders[v.index()].len());
+        &self.orders[v.index()][..k]
+    }
+
+    /// The rank of `u` in `Init_v` (0 for `u == v`).
+    pub fn rank(&self, v: NodeId, u: NodeId) -> usize {
+        self.rank_of[v.index()][u.index()] as usize
+    }
+
+    /// Whether `u` lies in the first `size` entries of `Init_v`.
+    pub fn in_neighborhood(&self, v: NodeId, u: NodeId, size: usize) -> bool {
+        self.rank(v, u) < size
+    }
+
+    /// The size of the `i`-th level neighborhood `N_i(v) = first ⌈n^{i/k}⌉`
+    /// entries (paper §3.1). Level 0 has size 1 (just `v`), level `k` is all
+    /// of `V`.
+    pub fn level_size(n: usize, i: u32, k: u32) -> usize {
+        assert!(k >= 1 && i <= k);
+        if i == 0 {
+            return 1;
+        }
+        if i == k {
+            return n;
+        }
+        let size = (n as f64).powf(i as f64 / k as f64).ceil() as usize;
+        size.clamp(1, n)
+    }
+
+    /// The level-`i` neighborhood `N_i(v)` for parameter `k`.
+    pub fn level_neighborhood(&self, v: NodeId, i: u32, k: u32) -> &[NodeId] {
+        let size = Self::level_size(self.node_count(), i, k);
+        self.neighborhood(v, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::generators::{directed_ring, strongly_connected_gnp};
+
+    fn setup(n: usize, seed: u64) -> (rtr_graph::DiGraph, DistanceMatrix, RoundtripOrder) {
+        let g = strongly_connected_gnp(n, 0.15, seed).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let o = RoundtripOrder::build(&m);
+        (g, m, o)
+    }
+
+    #[test]
+    fn self_is_always_first() {
+        let (g, _m, o) = setup(30, 1);
+        for v in g.nodes() {
+            assert_eq!(o.init(v)[0], v);
+            assert_eq!(o.rank(v, v), 0);
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (g, _m, o) = setup(25, 2);
+        for v in g.nodes() {
+            let mut seq: Vec<NodeId> = o.init(v).to_vec();
+            seq.sort_unstable();
+            assert_eq!(seq, g.nodes().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn order_is_sorted_by_roundtrip_distance() {
+        let (g, m, o) = setup(25, 3);
+        for v in g.nodes() {
+            let seq = o.init(v);
+            for w in seq.windows(2) {
+                let ra = m.roundtrip(v, w[0]);
+                let rb = m.roundtrip(v, w[1]);
+                assert!(ra <= rb, "Init_{v} not sorted by roundtrip distance");
+                if ra == rb {
+                    let da = m.distance(w[0], v);
+                    let db = m.distance(w[1], v);
+                    assert!(da <= db);
+                    if da == db {
+                        assert!(w[0].0 < w[1].0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_inverse_of_order() {
+        let (g, _m, o) = setup(20, 4);
+        for v in g.nodes() {
+            for (rank, &u) in o.init(v).iter().enumerate() {
+                assert_eq!(o.rank(v, u), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_prefix_and_membership_agree() {
+        let (g, _m, o) = setup(36, 5);
+        let size = 6;
+        for v in g.nodes() {
+            let nb = o.neighborhood(v, size);
+            assert_eq!(nb.len(), size);
+            for u in g.nodes() {
+                assert_eq!(nb.contains(&u), o.in_neighborhood(v, u, size));
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_clamps_to_n() {
+        let (_g, _m, o) = setup(10, 6);
+        assert_eq!(o.neighborhood(NodeId(0), 999).len(), 10);
+    }
+
+    #[test]
+    fn comparator_is_total_and_antisymmetric() {
+        let (g, m, _o) = setup(15, 7);
+        for v in g.nodes() {
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    let ab = roundtrip_closer(&m, v, a, b);
+                    let ba = roundtrip_closer(&m, v, b, a);
+                    if a == b {
+                        assert_eq!(ab, Ordering::Equal);
+                    } else {
+                        assert_ne!(ab, Ordering::Equal);
+                        assert_eq!(ab, ba.reverse());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_sizes_are_monotone_and_bounded() {
+        let n = 4096;
+        for k in 2..=6u32 {
+            let mut prev = 0;
+            for i in 0..=k {
+                let s = RoundtripOrder::level_size(n, i, k);
+                assert!(s >= prev);
+                assert!(s <= n);
+                prev = s;
+            }
+            assert_eq!(RoundtripOrder::level_size(n, 0, k), 1);
+            assert_eq!(RoundtripOrder::level_size(n, k, k), n);
+        }
+    }
+
+    #[test]
+    fn level_size_matches_sqrt_for_k2() {
+        assert_eq!(RoundtripOrder::level_size(1024, 1, 2), 32);
+        assert_eq!(RoundtripOrder::level_size(100, 1, 2), 10);
+    }
+
+    #[test]
+    fn ring_neighborhood_is_everything_at_equal_roundtrip() {
+        // On a unit-weight directed ring every pair has the same roundtrip
+        // distance n, so Init_v is sorted by the tie-breakers; v itself is
+        // still first because r(v,v) = 0.
+        let g = directed_ring(8, 3).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let o = RoundtripOrder::build(&m);
+        for v in g.nodes() {
+            assert_eq!(o.init(v)[0], v);
+        }
+    }
+}

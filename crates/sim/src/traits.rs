@@ -1,0 +1,173 @@
+//! The scheme-facing traits: local forwarding, header accounting, table stats.
+
+use rtr_dictionary::NodeName;
+use rtr_graph::{NodeId, Port};
+use std::error::Error;
+use std::fmt;
+
+/// What a node's forwarding function decides to do with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardAction {
+    /// Deliver the packet to the local host: the packet has reached the node
+    /// it was addressed to (outbound) or its original source (return trip).
+    Deliver,
+    /// Forward the packet on the given local out-port.
+    Forward(Port),
+}
+
+/// Headers must report their size in bits so the simulator can track the
+/// maximum header size a scheme ever writes (the paper's `O(log² n)` /
+/// `o(k log² n)` accounting).
+pub trait HeaderBits {
+    /// Current size of the header in bits.
+    fn bits(&self) -> usize;
+}
+
+/// An error raised by a scheme's local forwarding function (e.g. a lookup that
+/// the scheme's invariants say cannot fail did fail — always a bug, never an
+/// expected runtime condition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingError {
+    /// Human-readable description.
+    pub message: String,
+    /// The node whose table was being consulted.
+    pub at: NodeId,
+}
+
+impl RoutingError {
+    /// Creates a routing error at node `at`.
+    pub fn new(at: NodeId, message: impl Into<String>) -> Self {
+        RoutingError { message: message.into(), at }
+    }
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "routing error at {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for RoutingError {}
+
+/// Size accounting for one node's local routing table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TableStats {
+    /// Number of table entries (dictionary pairs, tree records, …).
+    pub entries: usize,
+    /// Estimated size in bits under the paper's accounting conventions
+    /// (`O(log n)`-bit node names and ports, `O(log² n)`-bit tree labels, …).
+    pub bits: usize,
+}
+
+impl TableStats {
+    /// Sum of two accounts (useful when a table is assembled from parts).
+    pub fn merged(self, other: TableStats) -> TableStats {
+        TableStats { entries: self.entries + other.entries, bits: self.bits + other.bits }
+    }
+}
+
+/// A compact roundtrip routing scheme as the simulator sees it (paper
+/// §1.1.1): per-node tables fixed at build time, plus a purely local
+/// forwarding function `F(table(x), header(P))`.
+///
+/// The three methods [`new_packet`](Self::new_packet),
+/// [`make_return`](Self::make_return) and [`forward`](Self::forward) must only
+/// use information that is locally available at the named node — the
+/// implementations in `rtr-core` and `rtr-namedep` uphold this by reading only
+/// `self.tables[at]` and the header.
+pub trait RoundtripRouting {
+    /// The scheme's writable packet header.
+    type Header: HeaderBits + Clone + fmt::Debug;
+
+    /// A short, stable scheme name used in experiment output.
+    fn scheme_name(&self) -> &'static str;
+
+    /// The header of a fresh packet entering the network at `src`, addressed
+    /// only with the topology-independent destination name `dst` (TINN model:
+    /// nothing else is known).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `src` has no table in this scheme (build bug).
+    fn new_packet(&self, src: NodeId, dst: NodeName) -> Result<Self::Header, RoutingError>;
+
+    /// Converts the header of a packet that was just delivered at `at` into
+    /// the header of the acknowledgment/reply packet (Mode ← ReturnPacket in
+    /// the paper's pseudocode). The return header may reuse topology
+    /// information learned on the forward trip — that is exactly what the
+    /// model permits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the header is not one that was just delivered.
+    fn make_return(&self, at: NodeId, header: &Self::Header) -> Result<Self::Header, RoutingError>;
+
+    /// The local forwarding function: consult `at`'s table and the header,
+    /// possibly rewrite the header, and decide what to do with the packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only on violated invariants (a malformed header or a
+    /// corrupted table); correct builds never fail.
+    fn forward(&self, at: NodeId, header: &mut Self::Header) -> Result<ForwardAction, RoutingError>;
+
+    /// Size accounting for the local table of `v`.
+    fn table_stats(&self, v: NodeId) -> TableStats;
+
+    /// The largest table over all nodes.
+    fn max_table_stats(&self, n: usize) -> TableStats {
+        let mut worst = TableStats::default();
+        for i in 0..n {
+            let s = self.table_stats(NodeId::from_index(i));
+            if s.bits > worst.bits {
+                worst = s;
+            }
+        }
+        worst
+    }
+
+    /// The average number of table entries per node.
+    fn avg_table_entries(&self, n: usize) -> f64 {
+        let total: usize = (0..n).map(|i| self.table_stats(NodeId::from_index(i)).entries).sum();
+        total as f64 / n.max(1) as f64
+    }
+}
+
+/// The number of bits needed to write a value in `{0, …, n−1}`; the accounting
+/// convention used throughout (`⌈log₂ n⌉`, minimum 1).
+pub fn id_bits(n: usize) -> usize {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_bits_matches_log2() {
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+        assert_eq!(id_bits(0), 1);
+        assert_eq!(id_bits(1), 1);
+    }
+
+    #[test]
+    fn table_stats_merge_adds_fields() {
+        let a = TableStats { entries: 3, bits: 90 };
+        let b = TableStats { entries: 2, bits: 10 };
+        let c = a.merged(b);
+        assert_eq!(c.entries, 5);
+        assert_eq!(c.bits, 100);
+    }
+
+    #[test]
+    fn routing_error_displays_node() {
+        let e = RoutingError::new(NodeId(3), "missing dictionary entry");
+        assert!(e.to_string().contains("v3"));
+        assert!(e.to_string().contains("missing dictionary entry"));
+    }
+}

@@ -1,0 +1,493 @@
+//! Shortest-path out-trees, in-trees and double trees over clusters.
+
+use rtr_graph::algo::dijkstra::{dijkstra_filtered, dijkstra_reverse_filtered};
+use rtr_graph::types::saturating_dist_add;
+use rtr_graph::{DiGraph, Distance, NodeId, Port, INFINITY};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A shortest-paths tree rooted at a center node, oriented *away* from the
+/// root (paper §3.2, `OutTree(C)`).
+///
+/// Only the members reachable from the root (within the optional cluster
+/// restriction) appear in the tree. For each member `v ≠ root` the tree stores
+/// its parent and the port *at the parent* labelling the tree edge
+/// `parent → v`; this is exactly the information needed to forward packets
+/// down the tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutTree {
+    root: NodeId,
+    /// Sorted members (includes the root).
+    members: Vec<NodeId>,
+    parent: HashMap<NodeId, NodeId>,
+    /// Port at `parent[v]` for the edge `parent[v] → v`.
+    parent_port: HashMap<NodeId, Port>,
+    dist: HashMap<NodeId, Distance>,
+    children: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl OutTree {
+    /// Builds the shortest-paths out-tree from `root` over the whole graph.
+    pub fn shortest_paths(g: &DiGraph, root: NodeId) -> Self {
+        Self::shortest_paths_within(g, root, None)
+    }
+
+    /// Builds the shortest-paths out-tree from `root`, restricted to the
+    /// induced subgraph on `members` when `Some` (paths may not leave the
+    /// cluster). Unreachable members are omitted from the tree.
+    pub fn shortest_paths_within(g: &DiGraph, root: NodeId, members: Option<&[NodeId]>) -> Self {
+        let allowed: Option<HashSet<NodeId>> = members.map(|m| m.iter().copied().collect());
+        let filter = allowed.as_ref().map(|set| {
+            let set = set.clone();
+            move |v: NodeId| set.contains(&v)
+        });
+        let tree = match &filter {
+            Some(f) => dijkstra_filtered(g, root, Some(f)),
+            None => dijkstra_filtered(g, root, None),
+        };
+
+        let candidate_members: Vec<NodeId> = match &allowed {
+            Some(set) => {
+                let mut v: Vec<NodeId> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => g.nodes().collect(),
+        };
+
+        let mut out_members = Vec::new();
+        let mut parent = HashMap::new();
+        let mut parent_port = HashMap::new();
+        let mut dist = HashMap::new();
+        let mut children: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+
+        for v in candidate_members {
+            if !tree.is_reachable(v) {
+                continue;
+            }
+            out_members.push(v);
+            dist.insert(v, tree.distance(v));
+            if v != root {
+                let p = tree.parent[v.index()].expect("reachable non-root has a parent");
+                let port = tree.parent_port[v.index()].expect("reachable non-root has a parent port");
+                parent.insert(v, p);
+                parent_port.insert(v, port);
+                children.entry(p).or_default().push(v);
+            }
+        }
+        out_members.sort_unstable();
+        for kids in children.values_mut() {
+            kids.sort_unstable();
+        }
+        OutTree { root, members: out_members, parent, parent_port, dist, children }
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Sorted list of members (root included).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when only the root belongs to the tree.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Whether `v` is spanned by the tree.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.dist.contains_key(&v)
+    }
+
+    /// Tree distance `d(root, v)`, or [`INFINITY`] if `v` is not in the tree.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.dist.get(&v).copied().unwrap_or(INFINITY)
+    }
+
+    /// The parent of `v` in the tree (`None` for the root or non-members).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent.get(&v).copied()
+    }
+
+    /// The port at `parent(v)` labelling the edge `parent(v) → v`.
+    pub fn parent_port(&self, v: NodeId) -> Option<Port> {
+        self.parent_port.get(&v).copied()
+    }
+
+    /// Children of `v` in the tree.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.children.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The tree path `root → … → v`, or `None` if `v` is not a member.
+    pub fn path_from_root(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Shortest paths from every member *to* the root (`InTree(C)` of §3.2).
+///
+/// Each member stores its next hop toward the root and the out-port of the
+/// first edge of that path — the only state a node needs in order to forward
+/// packets "up" toward the center.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InTree {
+    root: NodeId,
+    members: Vec<NodeId>,
+    next_hop: HashMap<NodeId, NodeId>,
+    /// Port at the member itself for its first edge toward the root.
+    next_port: HashMap<NodeId, Port>,
+    dist: HashMap<NodeId, Distance>,
+}
+
+impl InTree {
+    /// Builds the in-tree toward `root` over the whole graph.
+    pub fn shortest_paths(g: &DiGraph, root: NodeId) -> Self {
+        Self::shortest_paths_within(g, root, None)
+    }
+
+    /// Builds the in-tree toward `root`, restricted to the induced subgraph on
+    /// `members` when `Some`. Members that cannot reach the root inside the
+    /// cluster are omitted.
+    pub fn shortest_paths_within(g: &DiGraph, root: NodeId, members: Option<&[NodeId]>) -> Self {
+        let allowed: Option<HashSet<NodeId>> = members.map(|m| m.iter().copied().collect());
+        let filter = allowed.as_ref().map(|set| {
+            let set = set.clone();
+            move |v: NodeId| set.contains(&v)
+        });
+        let tree = match &filter {
+            Some(f) => dijkstra_reverse_filtered(g, root, Some(f)),
+            None => dijkstra_reverse_filtered(g, root, None),
+        };
+
+        let candidate_members: Vec<NodeId> = match &allowed {
+            Some(set) => {
+                let mut v: Vec<NodeId> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => g.nodes().collect(),
+        };
+
+        let mut out_members = Vec::new();
+        let mut next_hop = HashMap::new();
+        let mut next_port = HashMap::new();
+        let mut dist = HashMap::new();
+        for v in candidate_members {
+            if !tree.is_reachable(v) {
+                continue;
+            }
+            out_members.push(v);
+            dist.insert(v, tree.distance(v));
+            if v != root {
+                let nh = tree.parent[v.index()].expect("reachable non-root has a next hop");
+                let port = tree.parent_port[v.index()].expect("reachable non-root has a next port");
+                next_hop.insert(v, nh);
+                next_port.insert(v, port);
+            }
+        }
+        out_members.sort_unstable();
+        InTree { root, members: out_members, next_hop, next_port, dist }
+    }
+
+    /// The root (sink) of the in-tree.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Sorted members (root included).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Whether `v` can reach the root within the tree.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.dist.contains_key(&v)
+    }
+
+    /// Tree distance `d(v, root)`, or [`INFINITY`] for non-members.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.dist.get(&v).copied().unwrap_or(INFINITY)
+    }
+
+    /// Next node after `v` on its path to the root.
+    pub fn next_hop(&self, v: NodeId) -> Option<NodeId> {
+        self.next_hop.get(&v).copied()
+    }
+
+    /// Out-port at `v` of its first edge toward the root.
+    pub fn next_port(&self, v: NodeId) -> Option<Port> {
+        self.next_port.get(&v).copied()
+    }
+
+    /// The path `v → … → root`, or `None` if `v` is not a member.
+    pub fn path_to_root(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.contains(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(nh) = self.next_hop(cur) {
+            path.push(nh);
+            cur = nh;
+        }
+        Some(path)
+    }
+}
+
+/// `DoubleTree(C)` — the union of [`InTree`] and [`OutTree`] rooted at the
+/// same center (paper §3.2), supporting the "route through the center"
+/// primitive and the `RTHeight` measure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DoubleTree {
+    out: OutTree,
+    in_: InTree,
+    /// Members present in *both* trees (the nodes the double tree serves).
+    members: Vec<NodeId>,
+}
+
+impl DoubleTree {
+    /// Builds `DoubleTree(C)` centered at `root`, optionally restricted to a
+    /// cluster. Members kept are those that both reach and are reachable from
+    /// the root inside the restriction.
+    pub fn build(g: &DiGraph, root: NodeId, members: Option<&[NodeId]>) -> Self {
+        let out = OutTree::shortest_paths_within(g, root, members);
+        let in_ = InTree::shortest_paths_within(g, root, members);
+        let members: Vec<NodeId> =
+            out.members().iter().copied().filter(|&v| in_.contains(v)).collect();
+        DoubleTree { out, in_, members }
+    }
+
+    /// The center node.
+    pub fn root(&self) -> NodeId {
+        self.out.root()
+    }
+
+    /// Members served by the double tree (sorted).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of members served.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether only the root is served.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Whether `v` is served (in both component trees).
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.out.contains(v) && self.in_.contains(v)
+    }
+
+    /// The out-tree component.
+    pub fn out_tree(&self) -> &OutTree {
+        &self.out
+    }
+
+    /// The in-tree component.
+    pub fn in_tree(&self) -> &InTree {
+        &self.in_
+    }
+
+    /// Roundtrip distance through the root: `d_T(v, root) + d_T(root, v)`.
+    pub fn roundtrip_through_root(&self, v: NodeId) -> Distance {
+        saturating_dist_add(self.in_.distance(v), self.out.distance(v))
+    }
+
+    /// `RTHeight(T)`: the maximum roundtrip distance from the root to any
+    /// member (paper §3.2).
+    pub fn rt_height(&self) -> Distance {
+        self.members
+            .iter()
+            .map(|&v| self.roundtrip_through_root(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Cost of routing `u → root → v` inside the double tree, or
+    /// [`INFINITY`] if either endpoint is not served.
+    pub fn route_cost_through_root(&self, u: NodeId, v: NodeId) -> Distance {
+        saturating_dist_add(self.in_.distance(u), self.out.distance(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp};
+    use rtr_metric::DistanceMatrix;
+
+    #[test]
+    fn out_tree_distances_match_dijkstra() {
+        let g = strongly_connected_gnp(40, 0.1, 21).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let root = NodeId(0);
+        let t = OutTree::shortest_paths(&g, root);
+        assert_eq!(t.len(), g.node_count());
+        for v in g.nodes() {
+            assert_eq!(t.distance(v), m.distance(root, v));
+        }
+    }
+
+    #[test]
+    fn out_tree_parent_ports_label_tree_edges() {
+        let g = strongly_connected_gnp(30, 0.15, 5).unwrap();
+        let t = OutTree::shortest_paths(&g, NodeId(3));
+        for v in g.nodes() {
+            if v == NodeId(3) {
+                assert!(t.parent(v).is_none());
+                continue;
+            }
+            let p = t.parent(v).unwrap();
+            let port = t.parent_port(v).unwrap();
+            let edge = g.edge_by_port(p, port).unwrap();
+            assert_eq!(edge.to, v, "port at parent must lead to the child");
+        }
+    }
+
+    #[test]
+    fn out_tree_paths_have_tree_distance() {
+        let g = strongly_connected_gnp(25, 0.2, 6).unwrap();
+        let t = OutTree::shortest_paths(&g, NodeId(1));
+        for v in g.nodes() {
+            let path = t.path_from_root(v).unwrap();
+            assert_eq!(path[0], NodeId(1));
+            assert_eq!(*path.last().unwrap(), v);
+            let w = rtr_graph::algo::dijkstra::path_weight(&g, &path).unwrap();
+            assert_eq!(w, t.distance(v));
+        }
+    }
+
+    #[test]
+    fn out_tree_children_are_consistent_with_parents() {
+        let g = bidirected_grid(5, 5, 2).unwrap();
+        let t = OutTree::shortest_paths(&g, NodeId(12));
+        let mut counted = 1; // root
+        for v in g.nodes() {
+            for &c in t.children(v) {
+                assert_eq!(t.parent(c), Some(v));
+                counted += 1;
+            }
+        }
+        assert_eq!(counted, t.len());
+    }
+
+    #[test]
+    fn in_tree_distances_match_reverse_dijkstra() {
+        let g = strongly_connected_gnp(40, 0.1, 22).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let root = NodeId(7);
+        let t = InTree::shortest_paths(&g, root);
+        for v in g.nodes() {
+            assert_eq!(t.distance(v), m.distance(v, root));
+        }
+    }
+
+    #[test]
+    fn in_tree_next_ports_point_along_shortest_paths() {
+        let g = strongly_connected_gnp(30, 0.15, 8).unwrap();
+        let root = NodeId(2);
+        let t = InTree::shortest_paths(&g, root);
+        for v in g.nodes() {
+            if v == root {
+                continue;
+            }
+            let port = t.next_port(v).unwrap();
+            let edge = g.edge_by_port(v, port).unwrap();
+            assert_eq!(edge.to, t.next_hop(v).unwrap());
+            // Following the edge must decrease distance-to-root by its weight.
+            assert_eq!(t.distance(v), edge.weight + t.distance(edge.to));
+        }
+    }
+
+    #[test]
+    fn in_tree_path_reaches_root() {
+        let g = strongly_connected_gnp(20, 0.2, 9).unwrap();
+        let root = NodeId(5);
+        let t = InTree::shortest_paths(&g, root);
+        for v in g.nodes() {
+            let path = t.path_to_root(v).unwrap();
+            assert_eq!(*path.last().unwrap(), root);
+            let w = rtr_graph::algo::dijkstra::path_weight(&g, &path).unwrap();
+            assert_eq!(w, t.distance(v));
+        }
+    }
+
+    #[test]
+    fn restricted_trees_stay_in_cluster() {
+        let g = bidirected_grid(6, 6, 4).unwrap();
+        let cluster: Vec<NodeId> = (0..18).map(NodeId::from_index).collect();
+        let t = OutTree::shortest_paths_within(&g, NodeId(0), Some(&cluster));
+        for &v in t.members() {
+            assert!(cluster.contains(&v));
+            if let Some(path) = t.path_from_root(v) {
+                for x in path {
+                    assert!(cluster.contains(&x), "tree path leaves the cluster");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_tree_heights_and_membership() {
+        let g = strongly_connected_gnp(35, 0.12, 13).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let root = NodeId(4);
+        let dt = DoubleTree::build(&g, root, None);
+        assert_eq!(dt.len(), g.node_count());
+        for v in g.nodes() {
+            assert_eq!(dt.roundtrip_through_root(v), m.roundtrip(root, v));
+        }
+        let expected_height = g
+            .nodes()
+            .map(|v| m.roundtrip(root, v))
+            .max()
+            .unwrap();
+        assert_eq!(dt.rt_height(), expected_height);
+    }
+
+    #[test]
+    fn double_tree_route_cost_bound() {
+        let g = strongly_connected_gnp(30, 0.15, 17).unwrap();
+        let dt = DoubleTree::build(&g, NodeId(0), None);
+        let h = dt.rt_height();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert!(dt.route_cost_through_root(u, v) <= 2 * h.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn double_tree_on_cluster_serves_strongly_connected_part() {
+        let g = bidirected_grid(4, 4, 1).unwrap();
+        let cluster: Vec<NodeId> = vec![NodeId(0), NodeId(1), NodeId(4), NodeId(5), NodeId(15)];
+        let dt = DoubleTree::build(&g, NodeId(0), Some(&cluster));
+        // Node 15 is isolated within the cluster (no adjacent cluster nodes),
+        // so it is not served.
+        assert!(dt.contains(NodeId(5)));
+        assert!(!dt.contains(NodeId(15)));
+    }
+}
