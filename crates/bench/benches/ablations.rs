@@ -37,7 +37,9 @@ fn bench_ablations(c: &mut Criterion) {
                     );
                     let scheme =
                         StretchSix::build(&g, &m, &names, substrate, Stretch6Params::default());
-                    SchemeEvaluation::measure(&g, &m, &names, &scheme, selection).unwrap().avg_stretch
+                    SchemeEvaluation::measure(&g, &m, &names, &scheme, selection)
+                        .unwrap()
+                        .avg_stretch
                 })
             },
         );
@@ -50,9 +52,7 @@ fn bench_ablations(c: &mut Criterion) {
             &density,
             |b, &density| {
                 b.iter(|| {
-                    let params = Stretch6Params {
-                        blocks: DistributionParams { density, seed: 5 },
-                    };
+                    let params = Stretch6Params { blocks: DistributionParams { density, seed: 5 } };
                     let substrate = LandmarkBallScheme::build(&g, &m, LandmarkParams::default());
                     let scheme = StretchSix::build(&g, &m, &names, substrate, params);
                     scheme.max_blocks_per_node()
@@ -68,13 +68,11 @@ fn bench_ablations(c: &mut Criterion) {
             &cover_k,
             |b, &cover_k| {
                 b.iter(|| {
-                    let scheme = PolynomialStretch::build(
-                        &g,
-                        &m,
-                        &names,
-                        PolyParams { k: 3, cover_k },
-                    );
-                    SchemeEvaluation::measure(&g, &m, &names, &scheme, selection).unwrap().max_stretch
+                    let scheme =
+                        PolynomialStretch::build(&g, &m, &names, PolyParams { k: 3, cover_k });
+                    SchemeEvaluation::measure(&g, &m, &names, &scheme, selection)
+                        .unwrap()
+                        .max_stretch
                 })
             },
         );

@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtr_core::naming::NamingAssignment;
-use rtr_core::{ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_core::{
+    ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
+};
 use rtr_graph::generators::strongly_connected_gnp;
 use rtr_metric::DistanceMatrix;
 use rtr_namedep::{ExactOracleScheme, LandmarkBallScheme, LandmarkParams};
@@ -22,7 +24,13 @@ fn bench_construction(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("stretch6_oracle", n), &n, |b, _| {
             b.iter(|| {
-                StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default())
+                StretchSix::build(
+                    &g,
+                    &m,
+                    &names,
+                    ExactOracleScheme::build(&g),
+                    Stretch6Params::default(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("stretch6_landmark", n), &n, |b, _| {
@@ -38,7 +46,13 @@ fn bench_construction(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("exstretch_k3_oracle", n), &n, |b, _| {
             b.iter(|| {
-                ExStretch::build(&g, &m, &names, ExactOracleScheme::build(&g), ExStretchParams::with_k(3))
+                ExStretch::build(
+                    &g,
+                    &m,
+                    &names,
+                    ExactOracleScheme::build(&g),
+                    ExStretchParams::with_k(3),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("polystretch_k2", n), &n, |b, _| {

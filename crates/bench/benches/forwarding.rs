@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtr_core::naming::NamingAssignment;
-use rtr_core::{ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_core::{
+    ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
+};
 use rtr_graph::generators::strongly_connected_gnp;
 use rtr_graph::NodeId;
 use rtr_metric::DistanceMatrix;
@@ -38,12 +40,14 @@ fn bench_forwarding(c: &mut Criterion) {
         .filter(|(a, b)| a != b)
         .collect();
 
-    let s6 = StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+    let s6 =
+        StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
     group.bench_with_input(BenchmarkId::new("stretch6", n), &n, |b, _| {
         b.iter(|| roundtrip_all(&sim, &s6, &names, &pairs))
     });
 
-    let ex = ExStretch::build(&g, &m, &names, ExactOracleScheme::build(&g), ExStretchParams::with_k(3));
+    let ex =
+        ExStretch::build(&g, &m, &names, ExactOracleScheme::build(&g), ExStretchParams::with_k(3));
     group.bench_with_input(BenchmarkId::new("exstretch_k3", n), &n, |b, _| {
         b.iter(|| roundtrip_all(&sim, &ex, &names, &pairs))
     });

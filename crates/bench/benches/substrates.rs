@@ -52,13 +52,22 @@ fn bench_substrates(c: &mut Criterion) {
         .collect();
 
     group.bench_function("route/oracle", |b| {
-        b.iter(|| pairs.iter().map(|&(u, v)| drive(&g, &oracle, u, oracle.pair_label(u, v))).sum::<u64>())
+        b.iter(|| {
+            pairs.iter().map(|&(u, v)| drive(&g, &oracle, u, oracle.pair_label(u, v))).sum::<u64>()
+        })
     });
     group.bench_function("route/landmark", |b| {
-        b.iter(|| pairs.iter().map(|&(u, v)| drive(&g, &landmark, u, landmark.pair_label(u, v))).sum::<u64>())
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(u, v)| drive(&g, &landmark, u, landmark.pair_label(u, v)))
+                .sum::<u64>()
+        })
     });
     group.bench_function("route/tree_cover", |b| {
-        b.iter(|| pairs.iter().map(|&(u, v)| drive(&g, &cover, u, cover.pair_label(u, v))).sum::<u64>())
+        b.iter(|| {
+            pairs.iter().map(|&(u, v)| drive(&g, &cover, u, cover.pair_label(u, v))).sum::<u64>()
+        })
     });
 
     group.finish();

@@ -21,10 +21,15 @@ fn main() {
         let inst = instance(Family::Gnp, n, 11);
         let (g, m, names) = (&inst.graph, &inst.metric, &inst.names);
         for k in [2u32, 3, 4, 5] {
-            let scheme =
-                ExStretch::build(g, m, names, ExactOracleScheme::build(g), ExStretchParams::with_k(k));
-            let eval =
-                SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(n, k as u64)).unwrap();
+            let scheme = ExStretch::build(
+                g,
+                m,
+                names,
+                ExactOracleScheme::build(g),
+                ExStretchParams::with_k(k),
+            );
+            let eval = SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(n, k as u64))
+                .unwrap();
             let bound = (1u64 << k) - 1;
             assert!(eval.max_stretch <= bound as f64 + 1e-9);
             let max_dict = g.nodes().map(|v| scheme.dictionary_stats(v).entries).max().unwrap();
@@ -54,8 +59,8 @@ fn main() {
             let substrate = TreeCoverScheme::build(g, m, 2);
             let beta = substrate.guaranteed_roundtrip_stretch().unwrap();
             let scheme = ExStretch::build(g, m, names, substrate, ExStretchParams::with_k(k));
-            let eval =
-                SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(n, k as u64)).unwrap();
+            let eval = SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(n, k as u64))
+                .unwrap();
             let bound = ((1u64 << k) - 1) as f64 * beta;
             assert!(eval.max_stretch <= bound + 1e-9);
             println!(

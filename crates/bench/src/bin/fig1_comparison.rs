@@ -5,7 +5,9 @@
 
 use rtr_bench::{banner, instance, ExperimentConfig};
 use rtr_core::analysis::SchemeEvaluation;
-use rtr_core::{ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_core::{
+    ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
+};
 use rtr_graph::generators::Family;
 use rtr_namedep::{ExactOracleScheme, LandmarkBallScheme, LandmarkParams, TreeCoverScheme};
 
@@ -13,7 +15,10 @@ fn main() {
     let cfg = ExperimentConfig::from_env(&[64, 128, 256], 1, 3000);
 
     banner("Fig. 1 (paper, stated bounds)");
-    println!("{:<22} {:>12} {:>10} {:>17} {:>22}", "scheme", "table size", "roundtrip", "name-independent", "stretch");
+    println!(
+        "{:<22} {:>12} {:>10} {:>17} {:>22}",
+        "scheme", "table size", "roundtrip", "name-independent", "stretch"
+    );
     for (scheme, table, rt, ni, stretch) in [
         ("TZ'01 [39]", "~O(n^1/2)", "no", "no", "3"),
         ("RTZ'02 [35]", "~O(n^1/2)", "yes", "no", "3"),
@@ -33,7 +38,8 @@ fn main() {
         let (g, m, names) = (&inst.graph, &inst.metric, &inst.names);
         let selection = cfg.selection(g.node_count(), 1);
 
-        let s6_oracle = StretchSix::build(g, m, names, ExactOracleScheme::build(g), Stretch6Params::default());
+        let s6_oracle =
+            StretchSix::build(g, m, names, ExactOracleScheme::build(g), Stretch6Params::default());
         let mut eval = SchemeEvaluation::measure(g, m, names, &s6_oracle, selection).unwrap();
         eval.scheme = "s6/oracle".into();
         println!("{}", eval.table_row());
@@ -49,12 +55,19 @@ fn main() {
         eval.scheme = "s6/landmark".into();
         println!("{}", eval.table_row());
 
-        let ex_tree = ExStretch::build(g, m, names, TreeCoverScheme::build(g, m, 2), ExStretchParams::with_k(2));
+        let ex_tree = ExStretch::build(
+            g,
+            m,
+            names,
+            TreeCoverScheme::build(g, m, 2),
+            ExStretchParams::with_k(2),
+        );
         let mut eval = SchemeEvaluation::measure(g, m, names, &ex_tree, selection).unwrap();
         eval.scheme = "ex-k2/cover".into();
         println!("{}", eval.table_row());
 
-        let ex_oracle = ExStretch::build(g, m, names, ExactOracleScheme::build(g), ExStretchParams::with_k(3));
+        let ex_oracle =
+            ExStretch::build(g, m, names, ExactOracleScheme::build(g), ExStretchParams::with_k(3));
         let mut eval = SchemeEvaluation::measure(g, m, names, &ex_oracle, selection).unwrap();
         eval.scheme = "ex-k3/oracle".into();
         println!("{}", eval.table_row());
@@ -69,7 +82,12 @@ fn main() {
         eval.scheme = "poly-k3".into();
         println!("{}", eval.table_row());
 
-        println!("{:<14} {:>6} {:>12}", "(reference)", n, format!("sqrt(n)={}", (n as f64).sqrt().ceil() as usize));
+        println!(
+            "{:<14} {:>6} {:>12}",
+            "(reference)",
+            n,
+            format!("sqrt(n)={}", (n as f64).sqrt().ceil() as usize)
+        );
         println!();
     }
 }

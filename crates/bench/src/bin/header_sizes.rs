@@ -4,7 +4,9 @@
 
 use rtr_bench::{banner, instance, ExperimentConfig};
 use rtr_core::analysis::SchemeEvaluation;
-use rtr_core::{ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix};
+use rtr_core::{
+    ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
+};
 use rtr_graph::generators::Family;
 use rtr_namedep::{ExactOracleScheme, LandmarkBallScheme, LandmarkParams};
 use rtr_sim::id_bits;
@@ -32,10 +34,14 @@ fn main() {
             Stretch6Params::default(),
         );
         let eval = SchemeEvaluation::measure(g, m, names, &s6, selection).unwrap();
-        println!("{:<16} {:>6} {:>14} {:>12} {:>14}", "s6/landmark", n, eval.max_header_bits, log2, "-");
+        println!(
+            "{:<16} {:>6} {:>14} {:>12} {:>14}",
+            "s6/landmark", n, eval.max_header_bits, log2, "-"
+        );
 
         let k = 3u32;
-        let ex = ExStretch::build(g, m, names, ExactOracleScheme::build(g), ExStretchParams::with_k(k));
+        let ex =
+            ExStretch::build(g, m, names, ExactOracleScheme::build(g), ExStretchParams::with_k(k));
         let eval = SchemeEvaluation::measure(g, m, names, &ex, selection).unwrap();
         println!(
             "{:<16} {:>6} {:>14} {:>12} {:>14}",
@@ -48,7 +54,10 @@ fn main() {
 
         let poly = PolynomialStretch::build(g, m, names, PolyParams::with_k(2));
         let eval = SchemeEvaluation::measure(g, m, names, &poly, selection).unwrap();
-        println!("{:<16} {:>6} {:>14} {:>12} {:>14}", "poly-k2", n, eval.max_header_bits, log2, "-");
+        println!(
+            "{:<16} {:>6} {:>14} {:>12} {:>14}",
+            "poly-k2", n, eval.max_header_bits, log2, "-"
+        );
         println!();
     }
 }

@@ -18,7 +18,10 @@ fn main() {
     let cfg = ExperimentConfig::from_env(&[32, 64, 128], 1, 2500);
 
     banner("E10: Theorem 15 — reduction premises and the stretch >= 2 frontier");
-    println!("reduction arithmetic: one-way (3,3) -> roundtrip {}", roundtrip_stretch_from_oneway(3.0, 3.0));
+    println!(
+        "reduction arithmetic: one-way (3,3) -> roundtrip {}",
+        roundtrip_stretch_from_oneway(3.0, 3.0)
+    );
     println!(
         "{:<8} {:>10} {:>12} {:>14} {:>12} {:>12} {:>12}",
         "n", "symmetric", "scheme", "max-tbl-bits", "omega(n)ref", "avg-str", "max-str"

@@ -23,7 +23,7 @@ fn main() {
             let mut used = std::collections::HashSet::new();
             while names.len() < n {
                 let base: u64 = rng.gen_range(0..1u64 << 40) << 20;
-                let x = base + rng.gen_range(0..1024);
+                let x = base + rng.gen_range(0..1024u64);
                 if used.insert(x) {
                     names.push(x);
                 }

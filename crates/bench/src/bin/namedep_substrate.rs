@@ -73,7 +73,14 @@ fn main() {
     banner("E9: name-dependent substrates (roundtrip stretch, Lemma 2 rate, tables)");
     println!(
         "{:<14} {:>6} {:>10} {:>10} {:>13} {:>12} {:>12} {:>10}",
-        "substrate", "n", "avg-str", "max-str", "lemma2-rate", "max-entries", "max-bits", "lbl-bits"
+        "substrate",
+        "n",
+        "avg-str",
+        "max-str",
+        "lemma2-rate",
+        "max-entries",
+        "max-bits",
+        "lbl-bits"
     );
     for &n in &cfg.sizes {
         let inst = instance(Family::Gnp, n, 77);

@@ -21,9 +21,14 @@ fn main() {
             let (g, m, names) = (&inst.graph, &inst.metric, &inst.names);
             for k in [2u32, 3, 4] {
                 let scheme = PolynomialStretch::build(g, m, names, PolyParams::with_k(k));
-                let eval =
-                    SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(g.node_count(), k as u64))
-                        .unwrap();
+                let eval = SchemeEvaluation::measure(
+                    g,
+                    m,
+                    names,
+                    &scheme,
+                    cfg.selection(g.node_count(), k as u64),
+                )
+                .unwrap();
                 let bound = scheme.paper_stretch_bound();
                 assert!(eval.max_stretch <= bound as f64 + 1e-9, "paper bound violated");
                 println!(

@@ -28,11 +28,15 @@ fn main() {
                     ExactOracleScheme::build(g),
                     Stretch6Params::default(),
                 );
-                let eval =
-                    SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(g.node_count(), seed))
-                        .unwrap();
-                let max_dict =
-                    g.nodes().map(|v| scheme.dictionary_stats(v).entries).max().unwrap();
+                let eval = SchemeEvaluation::measure(
+                    g,
+                    m,
+                    names,
+                    &scheme,
+                    cfg.selection(g.node_count(), seed),
+                )
+                .unwrap();
+                let max_dict = g.nodes().map(|v| scheme.dictionary_stats(v).entries).max().unwrap();
                 let reference =
                     ((g.node_count() as f64).sqrt() * (g.node_count() as f64).ln()).ceil() as usize;
                 assert!(eval.max_stretch <= 6.0 + 1e-9, "stretch-6 bound violated");

@@ -17,10 +17,7 @@ fn main() {
     let epsilon = 1.0f64;
 
     banner("E6: analytic crossover of the two tradeoff branches");
-    println!(
-        "{:>4} {:>22} {:>16} {:>10}",
-        "k", "(2^(k/2)-1)(k+eps)", "8k^2+4k-4", "winner"
-    );
+    println!("{:>4} {:>22} {:>16} {:>10}", "k", "(2^(k/2)-1)(k+eps)", "8k^2+4k-4", "winner");
     for k in 2..=16u32 {
         let expo = ((2f64).powf(k as f64 / 2.0) - 1.0) * (k as f64 + epsilon);
         let poly = (8 * k * k + 4 * k - 4) as f64;
@@ -53,7 +50,12 @@ fn main() {
             let ex_entries = g.nodes().map(|v| ex.dictionary_stats(v).entries).max().unwrap();
             println!(
                 "{:>6} {:>4} {:>16.3} {:>16.3} {:>14} {:>14}",
-                n, k, ex_eval.max_stretch, poly_eval.max_stretch, ex_entries, poly_eval.max_table_entries
+                n,
+                k,
+                ex_eval.max_stretch,
+                poly_eval.max_stretch,
+                ex_entries,
+                poly_eval.max_table_entries
             );
         }
     }

@@ -40,21 +40,13 @@ impl ExperimentConfig {
     pub fn from_env(default_sizes: &[usize], default_seeds: u64, default_pairs: usize) -> Self {
         let sizes = std::env::var("RTR_SIZES")
             .ok()
-            .map(|s| {
-                s.split(',')
-                    .filter_map(|x| x.trim().parse().ok())
-                    .collect::<Vec<usize>>()
-            })
+            .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect::<Vec<usize>>())
             .filter(|v| !v.is_empty())
             .unwrap_or_else(|| default_sizes.to_vec());
-        let seeds = std::env::var("RTR_SEEDS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(default_seeds);
-        let pairs = std::env::var("RTR_PAIRS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(default_pairs);
+        let seeds =
+            std::env::var("RTR_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(default_seeds);
+        let pairs =
+            std::env::var("RTR_PAIRS").ok().and_then(|s| s.parse().ok()).unwrap_or(default_pairs);
         ExperimentConfig { sizes, seeds, pairs }
     }
 

@@ -10,9 +10,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rtr_graph::{DiGraph, NodeId};
-use rtr_metric::DistanceMatrix;
+use rtr_metric::DistanceOracle;
 use rtr_sim::{RoundtripRouting, SimError, Simulator};
-use serde::{Deserialize, Serialize};
 
 /// Which source/destination pairs an evaluation exercises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +28,7 @@ pub enum PairSelection {
 }
 
 /// The summary produced by [`SchemeEvaluation::measure`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SchemeEvaluation {
     /// The scheme's name (as reported by `scheme_name`).
     pub scheme: String,
@@ -70,9 +69,9 @@ impl SchemeEvaluation {
     ///
     /// Propagates the first simulator error encountered; a correct scheme
     /// never produces one.
-    pub fn measure<S: RoundtripRouting>(
+    pub fn measure<S: RoundtripRouting, O: DistanceOracle + ?Sized>(
         g: &DiGraph,
-        m: &DistanceMatrix,
+        m: &O,
         names: &NamingAssignment,
         scheme: &S,
         selection: PairSelection,
@@ -189,6 +188,7 @@ mod tests {
     use super::*;
     use crate::{Stretch6Params, StretchSix};
     use rtr_graph::generators::strongly_connected_gnp;
+    use rtr_metric::DistanceMatrix;
     use rtr_namedep::ExactOracleScheme;
 
     #[test]
@@ -196,8 +196,13 @@ mod tests {
         let g = strongly_connected_gnp(30, 0.12, 3).unwrap();
         let m = DistanceMatrix::build(&g);
         let names = NamingAssignment::random(30, 1);
-        let scheme =
-            StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+        let scheme = StretchSix::build(
+            &g,
+            &m,
+            &names,
+            ExactOracleScheme::build(&g),
+            Stretch6Params::default(),
+        );
         let eval =
             SchemeEvaluation::measure(&g, &m, &names, &scheme, PairSelection::AllPairs).unwrap();
         assert_eq!(eval.pairs, 30 * 29);
@@ -215,8 +220,13 @@ mod tests {
         let g = strongly_connected_gnp(25, 0.15, 5).unwrap();
         let m = DistanceMatrix::build(&g);
         let names = NamingAssignment::random(25, 2);
-        let scheme =
-            StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+        let scheme = StretchSix::build(
+            &g,
+            &m,
+            &names,
+            ExactOracleScheme::build(&g),
+            Stretch6Params::default(),
+        );
         let a = SchemeEvaluation::measure(
             &g,
             &m,

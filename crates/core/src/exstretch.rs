@@ -18,7 +18,7 @@
 use crate::naming::NamingAssignment;
 use rtr_dictionary::{AddressSpace, BlockDistribution, DistributionParams, NodeName};
 use rtr_graph::{DiGraph, NodeId};
-use rtr_metric::{DistanceMatrix, RoundtripOrder};
+use rtr_metric::{DistanceOracle, RoundtripOrder};
 use rtr_namedep::NameDependentSubstrate;
 use rtr_sim::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};
 use std::collections::HashMap;
@@ -138,9 +138,9 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
     ///
     /// Panics if `k < 2`, the graph is not strongly connected, or the naming
     /// size mismatches.
-    pub fn build(
+    pub fn build<O: DistanceOracle + ?Sized>(
         g: &DiGraph,
-        m: &DistanceMatrix,
+        m: &O,
         names: &NamingAssignment,
         substrate: S,
         params: ExStretchParams,
@@ -149,9 +149,11 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
         let k = params.k;
         assert!(k >= 2, "ExStretch requires k >= 2");
         assert_eq!(names.len(), n, "naming assignment size mismatch");
-        assert!(m.all_finite(), "ExStretch requires a strongly connected graph");
+        assert!(m.is_strongly_connected(), "ExStretch requires a strongly connected graph");
 
-        let order = RoundtripOrder::build(m);
+        // The deepest neighborhood any dictionary lookup consults is the
+        // level-(k−1) ball, so a prefix-truncated order suffices.
+        let order = RoundtripOrder::build_truncated(m, RoundtripOrder::level_size(n, k - 1, k));
         let space = AddressSpace::new(n, k);
         let distribution = BlockDistribution::build(space, &order, params.blocks);
 
@@ -181,7 +183,10 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
                 }
                 near.insert(
                     names.name_of(v),
-                    HopLabels { forward: substrate.pair_label(u, v), backward: substrate.pair_label(v, u) },
+                    HopLabels {
+                        forward: substrate.pair_label(u, v),
+                        backward: substrate.pair_label(v, u),
+                    },
                 );
             }
 
@@ -200,9 +205,7 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
                         if prefix_hops.contains_key(&prefix) {
                             continue;
                         }
-                        if let Some(w) =
-                            distribution.holder_for_prefix(&order, u, i + 1, &prefix)
-                        {
+                        if let Some(w) = distribution.holder_for_prefix(&order, u, i + 1, &prefix) {
                             prefix_hops.insert(
                                 prefix,
                                 HopLabels {
@@ -330,7 +333,11 @@ impl<S: NameDependentSubstrate> RoundtripRouting for ExStretch<S> {
         Ok(h)
     }
 
-    fn forward(&self, at: NodeId, header: &mut Self::Header) -> Result<ForwardAction, RoutingError> {
+    fn forward(
+        &self,
+        at: NodeId,
+        header: &mut Self::Header,
+    ) -> Result<ForwardAction, RoutingError> {
         let table = self.table(at);
         loop {
             match header.mode {
@@ -344,7 +351,10 @@ impl<S: NameDependentSubstrate> RoundtripRouting for ExStretch<S> {
                     let (hop, matched) = self
                         .next_hop_entry(table, header.dest, header.matched)
                         .ok_or_else(|| {
-                            RoutingError::new(at, "no dictionary entry toward the destination prefix")
+                            RoutingError::new(
+                                at,
+                                "no dictionary entry toward the destination prefix",
+                            )
                         })?;
                     header.current = Some(hop.forward.clone());
                     header.waypoint_stack.push(hop.backward.clone());
@@ -419,6 +429,7 @@ impl<S: NameDependentSubstrate> RoundtripRouting for ExStretch<S> {
 mod tests {
     use super::*;
     use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp};
+    use rtr_metric::DistanceMatrix;
     use rtr_namedep::{ExactOracleScheme, TreeCoverScheme};
     use rtr_sim::Simulator;
 
@@ -524,8 +535,7 @@ mod tests {
             let q = rtr_dictionary::AddressSpace::alphabet_size(128, k) as f64;
             let blocks_held = 16.0 * n.ln() + 2.0;
             let budget = (blocks_held * k as f64 * q + n.powf(1.0 / k as f64) + 2.0) as usize;
-            let max_entries =
-                g.nodes().map(|v| scheme.dictionary_stats(v).entries).max().unwrap();
+            let max_entries = g.nodes().map(|v| scheme.dictionary_stats(v).entries).max().unwrap();
             assert!(
                 max_entries <= budget,
                 "k={k}: {max_entries} entries exceed the Lemma 6 budget {budget}"

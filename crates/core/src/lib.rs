@@ -56,7 +56,9 @@ pub mod lowerbound;
 pub mod naming;
 mod polystretch;
 mod stretch6;
+mod suite;
 
 pub use exstretch::{ExStretch, ExStretchParams};
 pub use polystretch::{PolyParams, PolynomialStretch};
 pub use stretch6::{Stretch6Params, StretchSix};
+pub use suite::{SchemeSuite, SuiteParams};

@@ -17,7 +17,7 @@
 
 use rtr_graph::generators::bidirected_from_undirected;
 use rtr_graph::{DiGraph, NodeId, Weight};
-use rtr_metric::DistanceMatrix;
+use rtr_metric::DistanceOracle;
 
 /// The hard instance family used by experiment E10: a bidirected graph built
 /// from an undirected base graph in which many vertex pairs are at distance
@@ -47,9 +47,9 @@ pub fn hard_bidirected_instance(m: usize, seed: u64) -> DiGraph {
         let j = (next() % (i as u64 + 1)) as usize;
         matching.swap(i, j);
     }
-    for left in 0..m {
+    for (left, &matched) in matching.iter().enumerate() {
         for right in 0..m {
-            if matching[left] == right {
+            if matched == right {
                 continue; // removed matching edge
             }
             edges.push((left as u32, (m + right) as u32, 1));
@@ -66,7 +66,7 @@ pub fn hard_bidirected_instance(m: usize, seed: u64) -> DiGraph {
 
 /// Verifies the symmetry property the reduction of Theorem 15 relies on:
 /// `d(u, v) = d(v, u)` for every pair, hence `r(u, v) = 2·d(u, v)`.
-pub fn is_distance_symmetric(m: &DistanceMatrix) -> bool {
+pub fn is_distance_symmetric<O: DistanceOracle + ?Sized>(m: &O) -> bool {
     let n = m.node_count();
     for u in 0..n {
         for v in 0..n {
@@ -100,6 +100,7 @@ pub fn roundtrip_stretch_from_oneway(alpha: f64, beta: f64) -> f64 {
 mod tests {
     use super::*;
     use rtr_graph::generators::bidirected_grid;
+    use rtr_metric::DistanceMatrix;
 
     #[test]
     fn hard_instances_are_symmetric_and_strongly_connected() {
@@ -158,8 +159,14 @@ mod tests {
     fn different_seeds_remove_different_matchings() {
         let a = hard_bidirected_instance(6, 1);
         let b = hard_bidirected_instance(6, 2);
-        let ea: Vec<_> = a.nodes().flat_map(|u| a.out_edges(u).iter().map(move |e| (u, e.to)).collect::<Vec<_>>()).collect();
-        let eb: Vec<_> = b.nodes().flat_map(|u| b.out_edges(u).iter().map(move |e| (u, e.to)).collect::<Vec<_>>()).collect();
+        let ea: Vec<_> = a
+            .nodes()
+            .flat_map(|u| a.out_edges(u).iter().map(move |e| (u, e.to)).collect::<Vec<_>>())
+            .collect();
+        let eb: Vec<_> = b
+            .nodes()
+            .flat_map(|u| b.out_edges(u).iter().map(move |e| (u, e.to)).collect::<Vec<_>>())
+            .collect();
         assert_ne!(ea, eb);
     }
 }

@@ -11,10 +11,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rtr_dictionary::NodeName;
 use rtr_graph::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A bijection between topological node ids and topology-independent names.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NamingAssignment {
     /// `name_of[node] = name`.
     name_of: Vec<NodeName>,

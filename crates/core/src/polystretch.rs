@@ -23,7 +23,7 @@ use crate::naming::NamingAssignment;
 use rtr_cover::{DoubleTreeCover, TreeId};
 use rtr_dictionary::{AddressSpace, NodeName};
 use rtr_graph::{DiGraph, NodeId, Port};
-use rtr_metric::DistanceMatrix;
+use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};
 use rtr_trees::{TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
@@ -156,9 +156,9 @@ impl PolynomialStretch {
     ///
     /// Panics if `k < 2`, the graph is not strongly connected, or the naming
     /// size mismatches.
-    pub fn build(
+    pub fn build<O: DistanceOracle + ?Sized>(
         g: &DiGraph,
-        m: &DistanceMatrix,
+        m: &O,
         names: &NamingAssignment,
         params: PolyParams,
     ) -> Self {
@@ -167,7 +167,7 @@ impl PolynomialStretch {
         assert!(k >= 2, "PolynomialStretch requires k >= 2");
         assert!(params.cover_k >= 2, "cover parameter must be >= 2");
         assert_eq!(names.len(), n, "naming assignment size mismatch");
-        assert!(m.all_finite(), "PolynomialStretch requires a strongly connected graph");
+        assert!(m.is_strongly_connected(), "PolynomialStretch requires a strongly connected graph");
 
         let cover = DoubleTreeCover::build(g, m, params.cover_k);
         let space = AddressSpace::new(n, k);
@@ -202,10 +202,7 @@ impl PolynomialStretch {
                 for &v in members {
                     let digits = space.digits(names.name_of(v));
                     for j in 0..k as usize {
-                        prefix_groups[j]
-                            .entry(digits[..=j].to_vec())
-                            .or_default()
-                            .push(v);
+                        prefix_groups[j].entry(digits[..=j].to_vec()).or_default().push(v);
                     }
                 }
 
@@ -216,6 +213,10 @@ impl PolynomialStretch {
                     max_label_bits = max_label_bits.max(own_label.bits(n));
                     let up_port = tree.in_tree().next_port(u);
                     let own_digits = space.digits(names.name_of(u));
+                    // One roundtrip row of `u` serves every group comparison
+                    // below (oracle-friendly: two Dijkstras per member on a
+                    // lazy oracle instead of O(k·q·|group|) point queries).
+                    let rt_row = m.roundtrip_row(u);
 
                     let mut prefix: HashMap<(u32, u32), TreeLabel> = HashMap::new();
                     let mut exact: HashMap<NodeName, TreeLabel> = HashMap::new();
@@ -230,7 +231,7 @@ impl PolynomialStretch {
                             let best = group
                                 .iter()
                                 .copied()
-                                .min_by_key(|&v| (m.roundtrip(u, v), v.0))
+                                .min_by_key(|&v| (rt_row[v.index()], v.0))
                                 .expect("groups are non-empty");
                             let label = router.label(best).expect("member has an address").clone();
                             if j + 1 == k {
@@ -242,10 +243,9 @@ impl PolynomialStretch {
                         }
                     }
 
-                    tables[u.index()].trees.insert(
-                        id,
-                        TreeRecord { out_table, up_port, own_label, prefix, exact },
-                    );
+                    tables[u.index()]
+                        .trees
+                        .insert(id, TreeRecord { out_table, up_port, own_label, prefix, exact });
                 }
             }
         }
@@ -395,21 +395,17 @@ impl RoundtripRouting for PolynomialStretch {
                     if header.src == Some(table.own_name) {
                         return Ok(ForwardAction::Deliver);
                     }
-                    header.next_label = Some(
-                        header
-                            .src_tree_label
-                            .clone()
-                            .ok_or_else(|| RoutingError::new(at, "return packet lost the source address"))?,
-                    );
+                    header.next_label = Some(header.src_tree_label.clone().ok_or_else(|| {
+                        RoutingError::new(at, "return packet lost the source address")
+                    })?);
                 }
                 Mode::Enroute => {
-                    let tree = header
-                        .tree
-                        .ok_or_else(|| RoutingError::new(at, "enroute packet carries no tree id"))?;
-                    let label = header
-                        .next_label
-                        .clone()
-                        .ok_or_else(|| RoutingError::new(at, "enroute packet carries no waypoint"))?;
+                    let tree = header.tree.ok_or_else(|| {
+                        RoutingError::new(at, "enroute packet carries no tree id")
+                    })?;
+                    let label = header.next_label.clone().ok_or_else(|| {
+                        RoutingError::new(at, "enroute packet carries no waypoint")
+                    })?;
                     match self.tree_step(at, tree, &label)? {
                         ForwardAction::Forward(port) => return Ok(ForwardAction::Forward(port)),
                         ForwardAction::Deliver => {
@@ -441,8 +437,7 @@ impl RoundtripRouting for PolynomialStretch {
                                 return Ok(ForwardAction::Deliver);
                             }
                             // Look up the next waypoint matching one more digit.
-                            let matched =
-                                self.space.common_prefix_len(table.own_name, header.dest);
+                            let matched = self.space.common_prefix_len(table.own_name, header.dest);
                             match self.next_waypoint(at, tree, header.dest, matched) {
                                 Some(next) => {
                                     header.next_label = Some(next);
@@ -452,11 +447,13 @@ impl RoundtripRouting for PolynomialStretch {
                                     // Not reachable in this tree: go back to the
                                     // source and try the next level there.
                                     header.returning = true;
-                                    header.next_label = Some(
-                                        header.src_tree_label.clone().ok_or_else(|| {
-                                            RoutingError::new(at, "missing source address for failure return")
-                                        })?,
-                                    );
+                                    header.next_label =
+                                        Some(header.src_tree_label.clone().ok_or_else(|| {
+                                            RoutingError::new(
+                                                at,
+                                                "missing source address for failure return",
+                                            )
+                                        })?);
                                     continue;
                                 }
                             }
@@ -526,6 +523,7 @@ impl PolynomialStretch {
 mod tests {
     use super::*;
     use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp};
+    use rtr_metric::DistanceMatrix;
     use rtr_sim::Simulator;
 
     fn check_all_pairs(
@@ -586,7 +584,8 @@ mod tests {
         let m = DistanceMatrix::build(&g);
         let names = NamingAssignment::random(40, 7);
         let scheme = PolynomialStretch::build(&g, &m, &names, PolyParams::with_k(2));
-        let worst = check_all_pairs(&g, &m, &names, &scheme, Some((scheme.paper_stretch_bound(), 1)));
+        let worst =
+            check_all_pairs(&g, &m, &names, &scheme, Some((scheme.paper_stretch_bound(), 1)));
         assert!(worst < scheme.paper_stretch_bound() as f64 / 2.0);
     }
 

@@ -21,27 +21,22 @@
 use crate::naming::NamingAssignment;
 use rtr_dictionary::{AddressSpace, BlockDistribution, DistributionParams, NodeName};
 use rtr_graph::{DiGraph, NodeId};
-use rtr_metric::{DistanceMatrix, RoundtripOrder};
+use rtr_metric::{DistanceOracle, RoundtripOrder};
 use rtr_namedep::{LabelBits, NameDependentSubstrate};
 use rtr_sim::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Parameters of the stretch-6 scheme.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Stretch6Params {
     /// Seed and density of the Lemma 1 block distribution.
     pub blocks: DistributionParams,
 }
 
-impl Default for Stretch6Params {
-    fn default() -> Self {
-        Stretch6Params { blocks: DistributionParams::default() }
-    }
-}
-
 /// Which node the packet is currently heading for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the `To` prefix mirrors Fig. 3's wording
 enum Leg {
     /// Toward the dictionary holder of the destination's block.
     ToDictionary,
@@ -123,29 +118,34 @@ pub struct StretchSix<S: NameDependentSubstrate> {
 impl<S: NameDependentSubstrate> StretchSix<S> {
     /// Builds the scheme's tables.
     ///
-    /// `m` must be the distance matrix of `g`; `names` the TINN assignment;
-    /// `substrate` the name-dependent labelled routing substrate (its labels
-    /// are the `R3(·)` values stored in tables and headers).
+    /// `m` must be a distance oracle of `g` (dense matrix or lazy); `names`
+    /// the TINN assignment; `substrate` the name-dependent labelled routing
+    /// substrate (its labels are the `R3(·)` values stored in tables and
+    /// headers).
+    ///
+    /// Only the first `⌈√n⌉` entries of each `Init_u` are ever consulted, so
+    /// the order is built prefix-truncated: memory stays `O(n^{3/2})` and a
+    /// lazy oracle is consumed row by row instead of forcing a dense matrix.
     ///
     /// # Panics
     ///
     /// Panics if the graph is not strongly connected or the naming size does
     /// not match the graph.
-    pub fn build(
+    pub fn build<O: DistanceOracle + ?Sized>(
         g: &DiGraph,
-        m: &DistanceMatrix,
+        m: &O,
         names: &NamingAssignment,
         substrate: S,
         params: Stretch6Params,
     ) -> Self {
         let n = g.node_count();
         assert_eq!(names.len(), n, "naming assignment size mismatch");
-        assert!(m.all_finite(), "stretch-6 scheme requires a strongly connected graph");
+        assert!(m.is_strongly_connected(), "stretch-6 scheme requires a strongly connected graph");
 
-        let order = RoundtripOrder::build(m);
+        let neighborhood_size = RoundtripOrder::level_size(n, 1, 2);
+        let order = RoundtripOrder::build_truncated(m, neighborhood_size);
         let space = AddressSpace::new(n, 2);
         let distribution = BlockDistribution::build(space, &order, params.blocks);
-        let neighborhood_size = RoundtripOrder::level_size(n, 1, 2);
 
         let label_bits = substrate.max_label_bits();
         let name_bits = id_bits(n);
@@ -265,7 +265,11 @@ impl<S: NameDependentSubstrate> RoundtripRouting for StretchSix<S> {
         Ok(h)
     }
 
-    fn forward(&self, at: NodeId, header: &mut Self::Header) -> Result<ForwardAction, RoutingError> {
+    fn forward(
+        &self,
+        at: NodeId,
+        header: &mut Self::Header,
+    ) -> Result<ForwardAction, RoutingError> {
         let table = self.table(at);
         loop {
             match header.mode {
@@ -365,6 +369,7 @@ impl<L: LabelBits + Clone + fmt::Debug> Stretch6Header<L> {
 mod tests {
     use super::*;
     use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp, Family};
+    use rtr_metric::DistanceMatrix;
     use rtr_namedep::{ExactOracleScheme, LandmarkBallScheme, LandmarkParams};
     use rtr_sim::Simulator;
 

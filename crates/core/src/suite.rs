@@ -1,0 +1,158 @@
+//! Parallel construction of the paper's full scheme suite over one shared
+//! distance oracle.
+//!
+//! Before the [`rtr_metric::DistanceOracle`] refactor, benchmarking the three
+//! schemes side by side meant three independent dense `DistanceMatrix` builds
+//! (or one shared matrix pinned to `n²` memory). [`SchemeSuite::build`] fans
+//! the three constructions out over scoped worker threads that all borrow the
+//! *same* oracle — dense or lazy — so preprocessing wall-clock approaches the
+//! slowest single scheme and the metric is computed (and cached) once.
+
+use crate::naming::NamingAssignment;
+use crate::{
+    ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
+};
+use rtr_graph::DiGraph;
+use rtr_metric::DistanceOracle;
+use rtr_namedep::{ExactOracleScheme, TreeCoverScheme};
+
+/// Parameters of [`SchemeSuite::build`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuiteParams {
+    /// Parameters of the §2 stretch-6 scheme.
+    pub stretch6: Stretch6Params,
+    /// Parameters of the §3 exponential-tradeoff scheme.
+    pub exstretch: ExStretchParams,
+    /// Parameters of the §4 polynomial-tradeoff scheme.
+    pub poly: PolyParams,
+}
+
+/// All three TINN schemes of the paper, built together.
+///
+/// The stretch-6 scheme rides on the exact-oracle substrate (the hard-bound
+/// configuration used throughout the test-suite); the exponential scheme on
+/// the Theorem 13 tree-cover substrate; the polynomial scheme builds its own
+/// hierarchy.
+#[derive(Debug)]
+pub struct SchemeSuite {
+    /// The §2 scheme (stretch 6, exact-oracle substrate).
+    pub stretch6: StretchSix<ExactOracleScheme>,
+    /// The §3 scheme (tree-cover handshake substrate).
+    pub exstretch: ExStretch<TreeCoverScheme>,
+    /// The §4 scheme.
+    pub poly: PolynomialStretch,
+}
+
+impl SchemeSuite {
+    /// Builds the three schemes concurrently, sharing `m`.
+    ///
+    /// Each scheme's construction runs on its own scoped worker thread; all
+    /// three borrow the same oracle, which is why [`DistanceOracle`] requires
+    /// `Sync` and why the lazy oracles synchronise their row caches
+    /// internally. A worker panic (for example a disconnected graph failing a
+    /// scheme's precondition) propagates as a panic here, mirroring the
+    /// single-threaded behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scheme's preconditions fail (graph not strongly
+    /// connected, naming size mismatch, `k < 2`).
+    pub fn build<O: DistanceOracle + ?Sized>(
+        g: &DiGraph,
+        m: &O,
+        names: &NamingAssignment,
+        params: SuiteParams,
+    ) -> Self {
+        let result = crossbeam::scope(|scope| {
+            let h6 = scope.spawn(|_| {
+                StretchSix::build(g, m, names, ExactOracleScheme::build(g), params.stretch6)
+            });
+            let hx = scope.spawn(|_| {
+                let substrate = TreeCoverScheme::build(g, m, params.exstretch.k.max(2));
+                ExStretch::build(g, m, names, substrate, params.exstretch)
+            });
+            let hp = scope.spawn(|_| PolynomialStretch::build(g, m, names, params.poly));
+            let stretch6 = h6.join().expect("stretch-6 construction panicked");
+            let exstretch = hx.join().expect("exstretch construction panicked");
+            let poly = hp.join().expect("polystretch construction panicked");
+            SchemeSuite { stretch6, exstretch, poly }
+        });
+        match result {
+            Ok(suite) => suite,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::generators::strongly_connected_gnp;
+    use rtr_metric::{CachedSubsetOracle, DistanceMatrix, LazyDijkstraOracle};
+    use rtr_sim::Simulator;
+
+    #[test]
+    fn suite_builds_all_three_schemes_from_one_dense_oracle() {
+        let g = strongly_connected_gnp(32, 0.12, 5).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let names = NamingAssignment::random(32, 9);
+        let suite = SchemeSuite::build(&g, &m, &names, SuiteParams::default());
+        let sim = Simulator::new(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                let r6 = sim.roundtrip(&suite.stretch6, s, t, names.name_of(t)).unwrap();
+                assert!(r6.within_stretch(&m, 6, 1));
+                let rx = sim.roundtrip(&suite.exstretch, s, t, names.name_of(t)).unwrap();
+                assert!(rx.total_weight() >= m.roundtrip(s, t));
+                let rp = sim.roundtrip(&suite.poly, s, t, names.name_of(t)).unwrap();
+                assert!(rp.within_stretch(&m, suite.poly.paper_stretch_bound(), 1));
+            }
+        }
+    }
+
+    #[test]
+    fn suite_through_lazy_oracle_matches_dense_construction() {
+        // The three schemes hammer the shared lazy oracle from three threads;
+        // the result must be identical to the dense build (same tables ⇒ same
+        // routes and table stats).
+        let g = strongly_connected_gnp(28, 0.15, 7).unwrap();
+        let names = NamingAssignment::random(28, 3);
+        let dense = DistanceMatrix::build(&g);
+        let via_dense = SchemeSuite::build(&g, &dense, &names, SuiteParams::default());
+
+        let lazy = LazyDijkstraOracle::new(&g, 8);
+        let via_lazy = SchemeSuite::build(&g, &lazy, &names, SuiteParams::default());
+
+        let subset = CachedSubsetOracle::new(&g);
+        let via_subset = SchemeSuite::build(&g, &subset, &names, SuiteParams::default());
+
+        let sim = Simulator::new(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s == t {
+                    continue;
+                }
+                // StretchSix construction is oracle-independent bit for bit
+                // (orders and balls only), so routes must coincide exactly.
+                let a = sim.roundtrip(&via_dense.stretch6, s, t, names.name_of(t)).unwrap();
+                let b = sim.roundtrip(&via_lazy.stretch6, s, t, names.name_of(t)).unwrap();
+                let c = sim.roundtrip(&via_subset.stretch6, s, t, names.name_of(t)).unwrap();
+                assert_eq!(a.total_weight(), b.total_weight(), "({s},{t}) dense vs lazy");
+                assert_eq!(a.total_weight(), c.total_weight(), "({s},{t}) dense vs subset");
+                // Cover-based schemes may gain one extra hierarchy level from
+                // the lazy oracle's 2×-bounded diameter estimate; the paper
+                // bound must hold either way.
+                let rp = sim.roundtrip(&via_lazy.poly, s, t, names.name_of(t)).unwrap();
+                assert!(rp.within_stretch(&dense, via_lazy.poly.paper_stretch_bound(), 1));
+            }
+        }
+        for v in g.nodes() {
+            use rtr_sim::RoundtripRouting;
+            assert_eq!(via_dense.stretch6.table_stats(v), via_lazy.stretch6.table_stats(v));
+        }
+        assert!(lazy.stats().peak_resident_rows <= 8);
+    }
+}

@@ -2,12 +2,12 @@
 
 use crate::partial::{cover_balls, BallCover};
 use rtr_graph::{DiGraph, Distance, NodeId};
-use rtr_metric::DistanceMatrix;
+use rtr_metric::DistanceOracle;
 use rtr_trees::{DoubleTree, TreeRouter};
 
 /// Globally unique identifier of a double-tree inside a [`DoubleTreeCover`]:
 /// the level (scale index) and the tree's index within that level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TreeId {
     /// Level index (0 = smallest scale).
     pub level: u16,
@@ -41,18 +41,40 @@ pub struct LevelCover {
 }
 
 impl LevelCover {
-    fn build(g: &DiGraph, m: &DistanceMatrix, k: u32, scale: Distance) -> Self {
+    fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, k: u32, scale: Distance) -> Self {
         let cover = cover_balls(m, k, scale);
-        let mut trees = Vec::with_capacity(cover.clusters.len());
-        let mut routers = Vec::with_capacity(cover.clusters.len());
-        for (ci, cluster) in cover.clusters.iter().enumerate() {
-            let root = cover.seeds[ci];
-            let dt = DoubleTree::build(g, root, Some(cluster));
-            let router = TreeRouter::build(dt.out_tree());
-            trees.push(dt);
-            routers.push(router);
-        }
+        let (trees, routers) = Self::build_trees(g, &cover);
         LevelCover { scale, cover, trees, routers }
+    }
+
+    /// Builds one double tree + compact router per cluster, fanning the
+    /// per-cluster work out over worker threads. Each worker owns a disjoint
+    /// `chunks_mut` slice of the output, so the construction is lock-free and
+    /// bit-identical for any thread count.
+    fn build_trees(g: &DiGraph, cover: &BallCover) -> (Vec<DoubleTree>, Vec<TreeRouter>) {
+        let count = cover.clusters.len();
+        let mut slots: Vec<Option<(DoubleTree, TreeRouter)>> = (0..count).map(|_| None).collect();
+        if count > 0 {
+            let threads =
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(count);
+            let chunk = count.div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (ci, block) in slots.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move |_| {
+                        for (offset, slot) in block.iter_mut().enumerate() {
+                            let cluster_index = ci * chunk + offset;
+                            let root = cover.seeds[cluster_index];
+                            let dt =
+                                DoubleTree::build(g, root, Some(&cover.clusters[cluster_index]));
+                            let router = TreeRouter::build(dt.out_tree());
+                            *slot = Some((dt, router));
+                        }
+                    });
+                }
+            })
+            .expect("level-cover tree worker panicked");
+        }
+        slots.into_iter().map(|s| s.expect("every cluster was built")).unzip()
     }
 
     /// The home double-tree index of `v` at this level (guaranteed to span
@@ -87,13 +109,19 @@ pub struct DoubleTreeCover {
 impl DoubleTreeCover {
     /// Builds the hierarchy for sparseness parameter `k ≥ 2`.
     ///
+    /// Generic over the distance oracle: a dense [`rtr_metric::DistanceMatrix`]
+    /// yields exactly the paper's `⌈log₂ RTDiam⌉` levels, while a lazy oracle
+    /// uses its (at most 2×) diameter bound, which can add one extra doubling
+    /// level at the top — harmless, since a top level whose scale exceeds the
+    /// diameter is the full cover either way.
+    ///
     /// # Panics
     ///
     /// Panics if `k < 2` or the graph is not strongly connected.
-    pub fn build(g: &DiGraph, m: &DistanceMatrix, k: u32) -> Self {
+    pub fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, k: u32) -> Self {
         assert!(k >= 2, "DoubleTreeCover requires k >= 2");
-        assert!(m.all_finite(), "DoubleTreeCover requires a strongly connected graph");
-        let diam = m.roundtrip_diameter().max(1);
+        assert!(m.is_strongly_connected(), "DoubleTreeCover requires a strongly connected graph");
+        let diam = m.roundtrip_diameter_bound().max(1);
         let mut levels = Vec::new();
         let mut scale: Distance = 2;
         loop {
@@ -172,7 +200,7 @@ impl DoubleTreeCover {
                         .route_cost_through_root(u, v)
                         .saturating_add(dt.route_cost_through_root(v, u));
                     let id = TreeId { level: li as u16, index: ti as u32 };
-                    if best.map_or(true, |(_, c)| cost < c) {
+                    if best.is_none_or(|(_, c)| cost < c) {
                         best = Some((id, cost));
                     }
                 }
@@ -182,7 +210,9 @@ impl DoubleTreeCover {
                 // is found at the smallest possible level, higher levels can
                 // only be worse by the (2k-1)·2^i height guarantee, but we
                 // still scan one extra level to smooth out seed-choice noise.
-                if li + 1 < self.levels.len() && best.map_or(false, |(id, _)| (id.level as usize) < li) {
+                if li + 1 < self.levels.len()
+                    && best.is_some_and(|(id, _)| (id.level as usize) < li)
+                {
                     break;
                 }
             }
@@ -201,6 +231,7 @@ mod tests {
     use super::*;
     use crate::partial::roundtrip_ball;
     use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp};
+    use rtr_metric::DistanceMatrix;
 
     fn build(n: usize, seed: u64, k: u32) -> (DiGraph, DistanceMatrix, DoubleTreeCover) {
         let g = strongly_connected_gnp(n, 0.1, seed).unwrap();

@@ -1,14 +1,13 @@
 //! A compact bitset over node ids, used heavily by the cover constructions.
 
 use rtr_graph::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-universe set of [`NodeId`]s backed by a bit vector.
 ///
 /// The cover algorithms of §4 repeatedly intersect and merge clusters; doing
 /// this on sorted vectors would dominate the construction time, so clusters
 /// are manipulated as bitsets and only converted to sorted vectors at the end.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSet {
     n: usize,
     words: Vec<u64>,

@@ -3,8 +3,7 @@
 
 use crate::nodeset::NodeSet;
 use rtr_graph::{Distance, NodeId};
-use rtr_metric::DistanceMatrix;
-use serde::{Deserialize, Serialize};
+use rtr_metric::DistanceOracle;
 
 /// Output of one invocation of [`partial_cover`].
 #[derive(Debug, Clone)]
@@ -61,11 +60,9 @@ pub fn partial_cover(r: &[NodeSet], total_r: usize, k: u32) -> PartialCoverOutpu
     let mut covered = Vec::new();
     let mut removed = Vec::new();
 
-    loop {
-        // Line 3: select an arbitrary cluster S0 ∈ U (smallest alive index for
-        // determinism).
-        let Some(seed) = alive.iter().position(|&a| a) else { break };
-
+    // Line 3 of each round selects an arbitrary cluster S0 ∈ U (smallest
+    // alive index for determinism).
+    while let Some(seed) = alive.iter().position(|&a| a) {
         // Lines 4-9: grow Z until |Z| ≤ |R|^{1/k} |Y|.
         let mut z_script: Vec<usize> = vec![seed];
         let mut z_bar: NodeSet = r[seed].clone();
@@ -104,7 +101,7 @@ pub fn partial_cover(r: &[NodeSet], total_r: usize, k: u32) -> PartialCoverOutpu
 
 /// A sparse cover of all roundtrip balls of radius `d` (Theorem 10 with the
 /// roundtrip metric), produced by [`cover_balls`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BallCover {
     /// Ball radius `d` the cover was built for.
     pub radius: Distance,
@@ -139,12 +136,13 @@ impl BallCover {
 }
 
 /// The roundtrip ball `N̂ᵈ(v) = {w | r(v, w) ≤ d}`.
-pub fn roundtrip_ball(m: &DistanceMatrix, v: NodeId, d: Distance) -> NodeSet {
+///
+/// Consumes one roundtrip row of the oracle (two Dijkstras on a lazy oracle,
+/// a slice read on the dense matrix).
+pub fn roundtrip_ball<O: DistanceOracle + ?Sized>(m: &O, v: NodeId, d: Distance) -> NodeSet {
     let n = m.node_count();
-    NodeSet::from_nodes(
-        n,
-        (0..n).map(NodeId::from_index).filter(|&w| m.roundtrip(v, w) <= d),
-    )
+    let row = m.roundtrip_row(v);
+    NodeSet::from_nodes(n, (0..n).map(NodeId::from_index).filter(|&w| row[w.index()] <= d))
 }
 
 /// Algorithm *Cover(G, k, d)* of Fig. 8 instantiated with the roundtrip
@@ -160,9 +158,9 @@ pub fn roundtrip_ball(m: &DistanceMatrix, v: NodeId, d: Distance) -> NodeSet {
 ///
 /// Panics if `k < 2` or the graph underlying `m` is not strongly connected
 /// (some roundtrip distance is infinite).
-pub fn cover_balls(m: &DistanceMatrix, k: u32, d: Distance) -> BallCover {
+pub fn cover_balls<O: DistanceOracle + ?Sized>(m: &O, k: u32, d: Distance) -> BallCover {
     assert!(k >= 2, "Cover requires k >= 2");
-    assert!(m.all_finite(), "Cover requires a strongly connected graph");
+    assert!(m.is_strongly_connected(), "Cover requires a strongly connected graph");
     let n = m.node_count();
 
     // R ← {N̂ᵈ(v) | v ∈ V}, remembering each ball's owner.
@@ -218,6 +216,7 @@ mod tests {
     use super::*;
     use rtr_graph::generators::{bidirected_grid, directed_ring, strongly_connected_gnp, Family};
     use rtr_metric::ClusterMetric;
+    use rtr_metric::DistanceMatrix;
 
     fn check_theorem_10(g: &rtr_graph::DiGraph, m: &DistanceMatrix, k: u32, d: Distance) {
         let cover = cover_balls(m, k, d);
@@ -297,8 +296,7 @@ mod tests {
         let g = strongly_connected_gnp(40, 0.1, 3).unwrap();
         let m = DistanceMatrix::build(&g);
         let d = m.roundtrip_diameter() / 3 + 1;
-        let balls: Vec<NodeSet> =
-            g.nodes().map(|v| roundtrip_ball(&m, v, d)).collect();
+        let balls: Vec<NodeSet> = g.nodes().map(|v| roundtrip_ball(&m, v, d)).collect();
         let out = partial_cover(&balls, balls.len(), 2);
         for (i, a) in out.merged.iter().enumerate() {
             for b in &out.merged[i + 1..] {

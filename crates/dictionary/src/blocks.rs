@@ -17,11 +17,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtr_graph::NodeId;
 use rtr_metric::RoundtripOrder;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Tunables of the randomized distribution.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct DistributionParams {
     /// The constant `c` in the selection probability `c·ln n / q^{k−1}`.
     pub density: f64,
@@ -36,7 +35,7 @@ impl Default for DistributionParams {
 }
 
 /// The assignment `v ↦ S_v` produced by [`BlockDistribution::build`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BlockDistribution {
     space: AddressSpace,
     k: u32,
@@ -54,11 +53,7 @@ impl BlockDistribution {
     /// # Panics
     ///
     /// Panics if the order and the space disagree on `n`, or `k < 2`.
-    pub fn build(
-        space: AddressSpace,
-        order: &RoundtripOrder,
-        params: DistributionParams,
-    ) -> Self {
+    pub fn build(space: AddressSpace, order: &RoundtripOrder, params: DistributionParams) -> Self {
         let n = space.name_count();
         let k = space.digit_count();
         assert!(k >= 2, "block distribution needs k >= 2");
@@ -187,13 +182,14 @@ impl BlockDistribution {
 
     /// Finds the closest node within `N(v)` (level `1`… for Lemma 1 use
     /// `k = 2`) that holds exactly `block`.
-    pub fn holder_of_block(&self, order: &RoundtripOrder, v: NodeId, block: BlockId) -> Option<NodeId> {
+    pub fn holder_of_block(
+        &self,
+        order: &RoundtripOrder,
+        v: NodeId,
+        block: BlockId,
+    ) -> Option<NodeId> {
         let level_size = RoundtripOrder::level_size(self.space.name_count(), self.k - 1, self.k);
-        order
-            .neighborhood(v, level_size)
-            .iter()
-            .copied()
-            .find(|&w| self.holds(w, block))
+        order.neighborhood(v, level_size).iter().copied().find(|&w| self.holds(w, block))
     }
 
     /// Verifies the Lemma 4 coverage property from scratch; used by tests and
@@ -227,11 +223,8 @@ mod tests {
         let m = DistanceMatrix::build(&g);
         let order = RoundtripOrder::build(&m);
         let space = AddressSpace::new(g.node_count(), k);
-        let dist = BlockDistribution::build(
-            space,
-            &order,
-            DistributionParams { density: 4.0, seed },
-        );
+        let dist =
+            BlockDistribution::build(space, &order, DistributionParams { density: 4.0, seed });
         (order, dist)
     }
 
@@ -282,11 +275,7 @@ mod tests {
         // unsatisfied requirements; the repair pass is a safety net, not the
         // main mechanism.
         let (_, dist) = setup(100, 2, 11);
-        assert!(
-            dist.repair_count() <= 100,
-            "unexpectedly many repairs: {}",
-            dist.repair_count()
-        );
+        assert!(dist.repair_count() <= 100, "unexpectedly many repairs: {}", dist.repair_count());
     }
 
     #[test]
@@ -362,11 +351,8 @@ mod tests {
         let m = DistanceMatrix::build(&g);
         let order = RoundtripOrder::build(&m);
         let space = AddressSpace::new(36, 2);
-        let dist = BlockDistribution::build(
-            space,
-            &order,
-            DistributionParams { density: 0.0, seed: 1 },
-        );
+        let dist =
+            BlockDistribution::build(space, &order, DistributionParams { density: 0.0, seed: 1 });
         assert!(dist.verify_coverage(&order));
         assert!(dist.repair_count() > 0);
     }

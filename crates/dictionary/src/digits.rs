@@ -1,6 +1,5 @@
 //! Names, base-`n^{1/k}` digit strings, prefixes `σ^i` and blocks `B_α` (§3.1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A topology-independent node name: an element of `{0, …, n−1}` assigned to a
@@ -9,7 +8,7 @@ use std::fmt;
 /// Deliberately distinct from `rtr_graph::NodeId` (the topological index used
 /// by graph algorithms): routing-scheme code that only has a `NodeName` cannot
 /// accidentally use it as topology information.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeName(pub u32);
 
 impl NodeName {
@@ -34,7 +33,7 @@ impl fmt::Display for NodeName {
 
 /// Identifier of a block `B_α`, `α ∈ Σ^{k−1}`: the integer whose base-`q`
 /// representation is `α`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u32);
 
 impl BlockId {
@@ -58,7 +57,7 @@ impl fmt::Display for BlockId {
 /// implementation handles arbitrary `n` by rounding the alphabet size up, so
 /// some blocks near the top of the space may contain fewer than `q` names (or
 /// none). All consumers tolerate partially filled blocks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressSpace {
     n: u32,
     k: u32,
@@ -85,10 +84,10 @@ impl AddressSpace {
         }
         let mut q = (n as f64).powf(1.0 / k as f64).floor() as u64;
         // Floating point can undershoot; fix up so q^k >= n > (q-1)^k.
-        while q.checked_pow(k).map_or(true, |p| p < n as u64) {
+        while q.checked_pow(k).is_none_or(|p| p < n as u64) {
             q += 1;
         }
-        while q > 1 && (q - 1).checked_pow(k).map_or(false, |p| p >= n as u64) {
+        while q > 1 && (q - 1).checked_pow(k).is_some_and(|p| p >= n as u64) {
             q -= 1;
         }
         q as u32
@@ -330,11 +329,8 @@ mod tests {
     fn blocks_with_prefix_partition() {
         let space = AddressSpace::new(81, 4);
         assert_eq!(space.q(), 3);
-        let all: usize = space
-            .prefixes_of_len(2)
-            .iter()
-            .map(|p| space.blocks_with_prefix(p).len())
-            .sum();
+        let all: usize =
+            space.prefixes_of_len(2).iter().map(|p| space.blocks_with_prefix(p).len()).sum();
         assert_eq!(all, space.block_count());
     }
 

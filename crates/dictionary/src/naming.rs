@@ -5,7 +5,6 @@
 //! experiment E11 measures that constant.
 
 use crate::digits::NodeName;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -37,7 +36,7 @@ impl Error for NamingError {}
 
 /// The hashing reduction: maps each original (adversarially chosen, unique)
 /// name to a slot in `{0, …, n−1}`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NameRegistry {
     n: usize,
     a: u64,
@@ -105,6 +104,13 @@ impl NameRegistry {
         self.slot_of.get(&original).map(|&s| NodeName(s))
     }
 
+    /// The slot any 64-bit name hashes to under this registry's hash function,
+    /// whether or not it was registered — what a node computes locally before
+    /// consulting the dictionary holder responsible for that slot.
+    pub fn hash_slot(&self, x: u64) -> NodeName {
+        NodeName(Self::hash(self.a, self.b, self.n, x))
+    }
+
     /// The original names sharing `slot`.
     pub fn bucket(&self, slot: NodeName) -> &[u64] {
         &self.buckets[slot.index()]
@@ -157,8 +163,10 @@ mod tests {
             let slot = reg.slot(x).unwrap();
             assert!(slot.index() < 500);
             assert!(reg.bucket(slot).contains(&x));
+            assert_eq!(reg.hash_slot(x), slot);
         }
         assert_eq!(reg.slot(123456789), None);
+        assert!(reg.hash_slot(123456789).index() < 500);
     }
 
     #[test]

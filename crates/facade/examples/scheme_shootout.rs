@@ -15,14 +15,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("instance: {g}\n");
     println!("{}", SchemeEvaluation::table_header());
 
+    // All three schemes built concurrently over the one shared oracle
+    // (rtr_core::SchemeSuite fans construction out across worker threads).
+    let suite = SchemeSuite::build(&g, &m, &names, SuiteParams::default());
+    for (label, eval) in [
+        ("suite/s6", SchemeEvaluation::measure(&g, &m, &names, &suite.stretch6, traffic)?),
+        ("suite/ex", SchemeEvaluation::measure(&g, &m, &names, &suite.exstretch, traffic)?),
+        ("suite/poly", SchemeEvaluation::measure(&g, &m, &names, &suite.poly, traffic)?),
+    ] {
+        let mut eval = eval;
+        eval.scheme = label.into();
+        println!("{}", eval.table_row());
+    }
+
     // Name-dependent reference substrates wrapped in the stretch-6 dictionary.
-    let s6_oracle = StretchSix::build(
-        &g,
-        &m,
-        &names,
-        ExactOracleScheme::build(&g),
-        Stretch6Params::default(),
-    );
+    let s6_oracle =
+        StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
     let mut e = SchemeEvaluation::measure(&g, &m, &names, &s6_oracle, traffic)?;
     e.scheme = "s6 (oracle)".into();
     println!("{}", e.table_row());

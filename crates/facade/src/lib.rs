@@ -10,8 +10,10 @@
 //! (and the examples under `examples/`) can depend on a single crate:
 //!
 //! * [`graph`] — weighted digraphs, generators, shortest paths (`rtr-graph`);
-//! * [`metric`] — the roundtrip metric, `Init_v` orders, distance matrices
-//!   (`rtr-metric`);
+//! * [`metric`] — the roundtrip metric behind the pluggable
+//!   [`metric::DistanceOracle`] trait (dense `DistanceMatrix`, on-demand
+//!   `LazyDijkstraOracle` with a bounded LRU row cache, memoising
+//!   `CachedSubsetOracle`), plus `Init_v` orders (`rtr-metric`);
 //! * [`trees`] — in/out/double trees and compact tree routing (`rtr-trees`);
 //! * [`cover`] — sparse roundtrip covers and the Theorem 13 hierarchy
 //!   (`rtr-cover`);
@@ -35,6 +37,14 @@
 //! let sim = Simulator::new(&g);
 //! let report = sim.roundtrip(&scheme, NodeId(0), NodeId(9), names.name_of(NodeId(9)))?;
 //! assert!(report.within_stretch(&m, 6, 1));
+//!
+//! // The same pipeline on a large sparse graph: swap the dense matrix for a
+//! // lazy oracle and nothing else changes — every consumer is generic over
+//! // `DistanceOracle`.
+//! let lazy = LazyDijkstraOracle::with_default_capacity(&g);
+//! let scheme2 = StretchSix::build(&g, &lazy, &names, ExactOracleScheme::build(&g), Default::default());
+//! let report2 = sim.roundtrip(&scheme2, NodeId(0), NodeId(9), names.name_of(NodeId(9)))?;
+//! assert_eq!(report2.total_weight(), report.total_weight());
 //! # Ok(())
 //! # }
 //! ```
@@ -56,11 +66,14 @@ pub mod prelude {
     pub use rtr_core::analysis::{PairSelection, SchemeEvaluation};
     pub use rtr_core::naming::NamingAssignment;
     pub use rtr_core::{
-        ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
+        ExStretch, ExStretchParams, PolyParams, PolynomialStretch, SchemeSuite, Stretch6Params,
+        StretchSix, SuiteParams,
     };
     pub use rtr_dictionary::NodeName;
     pub use rtr_graph::{generators, DiGraph, DiGraphBuilder, NodeId};
-    pub use rtr_metric::{DistanceMatrix, RoundtripOrder};
+    pub use rtr_metric::{
+        CachedSubsetOracle, DistanceMatrix, DistanceOracle, LazyDijkstraOracle, RoundtripOrder,
+    };
     pub use rtr_namedep::{
         ExactOracleScheme, LandmarkBallScheme, LandmarkParams, NameDependentSubstrate,
         TreeCoverScheme,

@@ -126,8 +126,8 @@ fn naming_reduction_composes_with_routing() {
     // way here to obtain the TINN permutation.
     let mut taken = vec![false; n];
     let mut slots = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut s = registry.slot(ids[i]).unwrap().index();
+    for &id in ids.iter().take(n) {
+        let mut s = registry.slot(id).unwrap().index();
         while taken[s] {
             s = (s + 1) % n;
         }
@@ -135,13 +135,8 @@ fn naming_reduction_composes_with_routing() {
         slots.push(compact_roundtrip_routing::dictionary::NodeName(s as u32));
     }
     let names = NamingAssignment::from_names(slots);
-    let scheme = StretchSix::build(
-        &g,
-        &m,
-        &names,
-        ExactOracleScheme::build(&g),
-        Stretch6Params::default(),
-    );
+    let scheme =
+        StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
     all_pairs_check(&g, &m, &names, &scheme, Some((6, 1)));
 }
 
@@ -151,8 +146,7 @@ fn evaluation_harness_reports_consistent_numbers() {
     let m = DistanceMatrix::build(&g);
     let names = NamingAssignment::random(g.node_count(), 2);
     let scheme = PolynomialStretch::build(&g, &m, &names, PolyParams::with_k(2));
-    let eval =
-        SchemeEvaluation::measure(&g, &m, &names, &scheme, PairSelection::AllPairs).unwrap();
+    let eval = SchemeEvaluation::measure(&g, &m, &names, &scheme, PairSelection::AllPairs).unwrap();
     assert_eq!(eval.pairs, 40 * 39);
     assert!(eval.avg_stretch >= 1.0);
     assert!(eval.avg_stretch <= eval.max_stretch);
@@ -167,13 +161,8 @@ fn schemes_reject_malformed_return_packets() {
     let g = Family::Gnp.generate(24, 8).unwrap();
     let m = DistanceMatrix::build(&g);
     let names = NamingAssignment::random(g.node_count(), 1);
-    let scheme = StretchSix::build(
-        &g,
-        &m,
-        &names,
-        ExactOracleScheme::build(&g),
-        Stretch6Params::default(),
-    );
+    let scheme =
+        StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
     // Creating a return packet anywhere other than the destination is a
     // protocol violation and must be reported, not silently accepted.
     let header = scheme.new_packet(NodeId(0), names.name_of(NodeId(5))).unwrap();

@@ -34,6 +34,36 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
+    fn oracles_agree_with_the_dense_matrix(g in graph_strategy()) {
+        // LazyDijkstraOracle (tightly bounded cache, to force evictions) and
+        // CachedSubsetOracle must agree with DistanceMatrix on every pair.
+        let dense = DistanceMatrix::build(&g);
+        let lazy = LazyDijkstraOracle::new(&g, 3);
+        let subset = CachedSubsetOracle::new(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(lazy.distance(u, v), dense.distance(u, v));
+                prop_assert_eq!(subset.distance(u, v), dense.distance(u, v));
+                prop_assert_eq!(lazy.roundtrip(u, v), dense.roundtrip(u, v));
+                prop_assert_eq!(subset.roundtrip(u, v), dense.roundtrip(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_build_is_thread_count_invariant(g in graph_strategy(), threads in 2usize..9) {
+        // The lock-free chunks_mut build must be bit-identical for any worker
+        // count (each worker owns a disjoint block of rows).
+        let single = DistanceMatrix::build_with_threads(&g, 1);
+        let multi = DistanceMatrix::build_with_threads(&g, threads);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(single.distance(u, v), multi.distance(u, v));
+            }
+        }
+    }
+
+    #[test]
     fn roundtrip_metric_axioms(g in graph_strategy()) {
         let m = DistanceMatrix::build(&g);
         prop_assert!(m.all_finite());

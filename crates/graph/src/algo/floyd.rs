@@ -26,19 +26,19 @@ pub fn floyd_warshall(g: &DiGraph) -> Vec<Vec<Distance>> {
         }
     }
     for k in 0..n {
-        for i in 0..n {
-            let dik = dist[i][k];
+        let row_k = dist[k].clone();
+        for row_i in dist.iter_mut() {
+            let dik = row_i[k];
             if dik == INFINITY {
                 continue;
             }
-            for j in 0..n {
-                let dkj = dist[k][j];
+            for (j, &dkj) in row_k.iter().enumerate() {
                 if dkj == INFINITY {
                     continue;
                 }
                 let through = dik + dkj;
-                if through < dist[i][j] {
-                    dist[i][j] = through;
+                if through < row_i[j] {
+                    row_i[j] = through;
                 }
             }
         }
@@ -81,11 +81,7 @@ mod tests {
             for u in g.nodes() {
                 let t = dijkstra(&g, u);
                 for v in g.nodes() {
-                    assert_eq!(
-                        t.distance(v),
-                        matrix_distance(&fw, u, v),
-                        "mismatch for ({u},{v})"
-                    );
+                    assert_eq!(t.distance(v), matrix_distance(&fw, u, v), "mismatch for ({u},{v})");
                 }
             }
         }

@@ -477,7 +477,7 @@ mod tests {
         assert_eq!(g.node_count(), 35);
         assert!(g.is_strongly_connected());
         // Interior node has degree 4 in each direction.
-        let interior = NodeId::from_index(1 * 7 + 3);
+        let interior = NodeId::from_index(7 + 3);
         assert_eq!(g.out_degree(interior), 4);
         assert_eq!(g.in_degree(interior), 4);
     }

@@ -3,12 +3,11 @@
 use crate::error::GraphError;
 use crate::types::{NodeId, Port, Weight};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// A directed edge as stored in the graph's adjacency lists.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// Head (target) of the edge.
     pub to: NodeId,
@@ -24,7 +23,7 @@ pub struct Edge {
 /// schemes must work for *any* assignment. The builder therefore supports
 /// several assignments so that tests can exercise more than the convenient
 /// consecutive numbering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PortAssignment {
     /// Ports `0, 1, 2, …` in insertion order (the "friendly" assignment).
     Consecutive,
@@ -49,7 +48,7 @@ impl Default for PortAssignment {
 /// per-node reverse adjacency of `(source, weight)` pairs used by reverse
 /// Dijkstra. Nodes are `0..n`. The structure is immutable after construction;
 /// use [`DiGraphBuilder`] to create one.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiGraph {
     out_edges: Vec<Vec<Edge>>,
     in_edges: Vec<Vec<(NodeId, Weight)>>,
@@ -178,9 +177,7 @@ impl DiGraph {
         builder.port_assignment(PortAssignment::Consecutive);
         for u in self.nodes() {
             for e in self.out_edges(u) {
-                builder
-                    .add_edge(e.to, u, e.weight)
-                    .expect("transposing a valid graph cannot fail");
+                builder.add_edge(e.to, u, e.weight).expect("transposing a valid graph cannot fail");
             }
         }
         builder.build().expect("transposing a valid graph cannot fail")
@@ -188,11 +185,7 @@ impl DiGraph {
 
     /// Total weight of all edges (useful sanity statistic).
     pub fn total_weight(&self) -> u128 {
-        self.out_edges
-            .iter()
-            .flat_map(|es| es.iter())
-            .map(|e| e.weight as u128)
-            .sum()
+        self.out_edges.iter().flat_map(|es| es.iter()).map(|e| e.weight as u128).sum()
     }
 
     /// Returns the sum of the sizes of all adjacency lists in machine words,
@@ -366,19 +359,34 @@ impl DiGraphBuilder {
             }
         }
 
-        let g = DiGraph {
-            out_edges,
-            in_edges,
-            edge_count: self.edges.len(),
-            max_weight,
-            min_weight,
-        };
+        let g =
+            DiGraph { out_edges, in_edges, edge_count: self.edges.len(), max_weight, min_weight };
         g.validate_ports()?;
         Ok(g)
     }
 }
 
 impl DiGraph {
+    /// Overwrites the port labels of the given edges (used by
+    /// [`crate::io::from_json`] to restore an explicitly stored assignment),
+    /// then re-validates per-node uniqueness.
+    pub(crate) fn reassign_ports<I: IntoIterator<Item = (NodeId, NodeId, u32)>>(
+        &mut self,
+        ports: I,
+    ) -> Result<()> {
+        for (from, to, port) in ports {
+            let edge = self
+                .out_edges
+                .get_mut(from.index())
+                .and_then(|es| es.iter_mut().find(|e| e.to == to))
+                .ok_or_else(|| {
+                    GraphError::Serde(format!("port for missing edge ({from}, {to})"))
+                })?;
+            edge.port = Port(port);
+        }
+        self.validate_ports()
+    }
+
     /// Verifies that port labels are unique per node.
     fn validate_ports(&self) -> Result<()> {
         for u in self.nodes() {
@@ -536,10 +544,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let g = triangle();
-        let json = serde_json::to_string(&g).unwrap();
-        let g2: DiGraph = serde_json::from_str(&json).unwrap();
+        let json = crate::io::to_json(&g).unwrap();
+        let g2: DiGraph = crate::io::from_json(&json).unwrap();
         assert_eq!(g2.node_count(), 3);
         assert_eq!(g2.edge_weight(NodeId(2), NodeId(0)), Some(3));
     }

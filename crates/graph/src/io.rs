@@ -14,7 +14,11 @@ pub fn to_dot(g: &DiGraph) -> String {
     }
     for u in g.nodes() {
         for e in g.out_edges(u) {
-            let _ = writeln!(out, "  {} -> {} [label=\"{}\", port=\"{}\"];", u.0, e.to.0, e.weight, e.port.0);
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\", port=\"{}\"];",
+                u.0, e.to.0, e.weight, e.port.0
+            );
         }
     }
     out.push_str("}\n");
@@ -23,11 +27,30 @@ pub fn to_dot(g: &DiGraph) -> String {
 
 /// Serializes the graph to JSON.
 ///
+/// The format is a flat object `{"n": <nodes>, "edges": [[from, to, weight,
+/// port], …]}` written without any external serialization crate (the build
+/// environment vendors no serde). Ports are carried explicitly so that a
+/// roundtrip through [`from_json`] reproduces the adversarial port assignment
+/// bit for bit.
+///
 /// # Errors
 ///
 /// Returns [`GraphError::Serde`] if serialization fails (it does not for valid graphs).
 pub fn to_json(g: &DiGraph) -> Result<String> {
-    serde_json::to_string(g).map_err(|e| GraphError::Serde(e.to_string()))
+    let mut out = String::new();
+    let _ = write!(out, "{{\"n\":{},\"edges\":[", g.node_count());
+    let mut first = true;
+    for u in g.nodes() {
+        for e in g.out_edges(u) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{},{},{},{}]", u.0, e.to.0, e.weight, e.port.0);
+        }
+    }
+    out.push_str("]}");
+    Ok(out)
 }
 
 /// Deserializes a graph from JSON produced by [`to_json`].
@@ -36,7 +59,126 @@ pub fn to_json(g: &DiGraph) -> Result<String> {
 ///
 /// Returns [`GraphError::Serde`] if the JSON is malformed.
 pub fn from_json(json: &str) -> Result<DiGraph> {
-    serde_json::from_str(json).map_err(|e| GraphError::Serde(e.to_string()))
+    let mut p = JsonParser::new(json);
+    p.expect('{')?;
+    p.expect_string("n")?;
+    p.expect(':')?;
+    let n = usize::try_from(p.number()?)
+        .map_err(|_| GraphError::Serde("node count out of range".into()))?;
+    p.expect(',')?;
+    p.expect_string("edges")?;
+    p.expect(':')?;
+    p.expect('[')?;
+    let narrow = |value: u64, what: &str| {
+        u32::try_from(value).map_err(|_| GraphError::Serde(format!("{what} {value} out of range")))
+    };
+    let mut edges: Vec<(u32, u32, u64, u32)> = Vec::new();
+    if !p.try_consume(']') {
+        loop {
+            p.expect('[')?;
+            let from = narrow(p.number()?, "node id")?;
+            p.expect(',')?;
+            let to = narrow(p.number()?, "node id")?;
+            p.expect(',')?;
+            let weight = p.number()?;
+            p.expect(',')?;
+            let port = narrow(p.number()?, "port")?;
+            p.expect(']')?;
+            edges.push((from, to, weight, port));
+            if !p.try_consume(',') {
+                p.expect(']')?;
+                break;
+            }
+        }
+    }
+    p.expect('}')?;
+    p.expect_end()?;
+
+    let mut b = DiGraphBuilder::new(n);
+    // Build with consecutive ports first, then overwrite with the explicit
+    // ports carried in the file via the builder's explicit-port hook.
+    b.port_assignment(PortAssignment::Consecutive);
+    for &(from, to, weight, _) in &edges {
+        b.add_edge(NodeId(from), NodeId(to), weight)?;
+    }
+    let mut g = b.build()?;
+    g.reassign_ports(edges.iter().map(|&(from, to, _, port)| (NodeId(from), NodeId(to), port)))?;
+    Ok(g)
+}
+
+/// A minimal recursive-descent JSON reader for the graph format above.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(GraphError::Serde(format!("expected '{c}' at byte {}", self.pos)))
+        }
+    }
+
+    fn try_consume(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_string(&mut self, s: &str) -> Result<()> {
+        self.expect('"')?;
+        let lit = s.as_bytes();
+        if self.bytes.len() >= self.pos + lit.len()
+            && &self.bytes[self.pos..self.pos + lit.len()] == lit
+        {
+            self.pos += lit.len();
+            self.expect('"')
+        } else {
+            Err(GraphError::Serde(format!("expected key \"{s}\" at byte {}", self.pos)))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(GraphError::Serde(format!("expected a number at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GraphError::Serde(format!("malformed number at byte {start}")))
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(GraphError::Serde(format!("trailing data at byte {}", self.pos)))
+        }
+    }
 }
 
 /// Renders the graph as a plain edge list: one `from to weight` triple per
@@ -125,6 +267,13 @@ mod tests {
     #[test]
     fn from_json_rejects_garbage() {
         assert!(matches!(from_json("not json"), Err(GraphError::Serde(_))));
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_range_ids() {
+        // 2^32 + 1 must not silently wrap to node 1.
+        let bad = "{\"n\":3,\"edges\":[[4294967297,1,5,0]]}";
+        assert!(matches!(from_json(bad), Err(GraphError::Serde(_))));
     }
 
     #[test]

@@ -47,8 +47,8 @@
 
 pub mod algo;
 mod error;
-mod graph;
 pub mod generators;
+mod graph;
 pub mod io;
 pub mod types;
 

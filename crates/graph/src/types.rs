@@ -1,6 +1,5 @@
 //! Fundamental newtypes: node identifiers, ports, weights and distances.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a node inside a [`crate::DiGraph`].
@@ -17,7 +16,7 @@ use std::fmt;
 /// assert_eq!(v.index(), 7);
 /// assert_eq!(format!("{v}"), "v7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -62,7 +61,7 @@ impl From<NodeId> for u32 {
 /// Port numbers are local to a node, unique among that node's out-edges, and
 /// chosen adversarially from a set of size `O(n)`; the same port number at two
 /// different nodes may lead to completely unrelated neighbors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Port(pub u32);
 
 impl Port {

@@ -101,12 +101,7 @@ impl ClusterMetric {
     /// `RTCenter(C)`: a member achieving [`rt_radius`](Self::rt_radius)
     /// (smallest id among minimizers, for determinism).
     pub fn rt_center(&self) -> Option<NodeId> {
-        self.members
-            .iter()
-            .copied()
-            .map(|v| (self.rt_radius_of(v), v))
-            .min()
-            .map(|(_, v)| v)
+        self.members.iter().copied().map(|v| (self.rt_radius_of(v), v)).min().map(|(_, v)| v)
     }
 
     /// `RTDiam(C) = max_{u,v} r_C(u, v)`.
@@ -131,10 +126,7 @@ impl ClusterMetric {
     pub fn out_tree_parents(&self, g: &DiGraph, root: NodeId) -> Vec<(Option<NodeId>, Distance)> {
         let in_cluster = |v: NodeId| self.contains(v);
         let tree = dijkstra_filtered(g, root, Some(&in_cluster));
-        self.members
-            .iter()
-            .map(|&v| (tree.parent[v.index()], tree.distance(v)))
-            .collect()
+        self.members.iter().map(|&v| (tree.parent[v.index()], tree.distance(v))).collect()
     }
 
     /// Shortest-path in-tree of the cluster toward `root` (paths restricted to
@@ -143,10 +135,7 @@ impl ClusterMetric {
     pub fn in_tree_next_hops(&self, g: &DiGraph, root: NodeId) -> Vec<(Option<NodeId>, Distance)> {
         let in_cluster = |v: NodeId| self.contains(v);
         let tree = dijkstra_reverse_filtered(g, root, Some(&in_cluster));
-        self.members
-            .iter()
-            .map(|&v| (tree.parent[v.index()], tree.distance(v)))
-            .collect()
+        self.members.iter().map(|&v| (tree.parent[v.index()], tree.distance(v))).collect()
     }
 }
 

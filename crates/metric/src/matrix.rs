@@ -1,6 +1,5 @@
 //! All-pairs distance matrix and roundtrip distances.
 
-use parking_lot::Mutex;
 use rtr_graph::algo::dijkstra::dijkstra;
 use rtr_graph::types::saturating_dist_add;
 use rtr_graph::{DiGraph, Distance, NodeId, INFINITY};
@@ -9,11 +8,14 @@ use rtr_graph::{DiGraph, Distance, NodeId, INFINITY};
 /// helpers.
 ///
 /// Construction runs one forward Dijkstra per source, distributed over worker
-/// threads with `crossbeam::scope`. For the graph sizes used by the
-/// experiments (up to a few thousand nodes) the dense `n²` representation is
-/// the right trade-off: every later stage (orders, neighborhoods, covers,
-/// scheme construction, stretch accounting) performs millions of random
-/// distance lookups.
+/// threads. Each worker owns a disjoint block of matrix rows obtained through
+/// `chunks_mut`, so the build is lock-free: no worker ever touches another
+/// worker's rows, and the result is identical for any thread count. For graph
+/// sizes up to a few thousand nodes the dense `n²` representation is the
+/// right trade-off: every later stage (orders, neighborhoods, covers, scheme
+/// construction, stretch accounting) performs millions of random distance
+/// lookups. Beyond that, use [`crate::LazyDijkstraOracle`] — every consumer
+/// is generic over [`crate::DistanceOracle`].
 #[derive(Debug, Clone)]
 pub struct DistanceMatrix {
     n: usize,
@@ -30,31 +32,49 @@ impl DistanceMatrix {
 
     /// Builds the matrix using at most `threads` worker threads.
     ///
+    /// Rows are handed to workers as contiguous `chunks_mut` blocks — each
+    /// worker writes only rows it exclusively owns, so no synchronisation is
+    /// needed and single- and multi-threaded builds are bit-for-bit
+    /// identical.
+    ///
     /// # Panics
     ///
     /// Panics if `threads == 0`.
     pub fn build_with_threads(g: &DiGraph, threads: usize) -> Self {
         assert!(threads > 0, "need at least one thread");
         let n = g.node_count();
-        let dist = Mutex::new(vec![INFINITY; n * n]);
-        let next_source = std::sync::atomic::AtomicUsize::new(0);
+        if n == 0 {
+            return DistanceMatrix { n, dist: Vec::new() };
+        }
+        let mut dist = vec![INFINITY; n * n];
+        let threads = threads.min(n);
+        let rows_per_chunk = n.div_ceil(threads);
 
         crossbeam::scope(|scope| {
-            for _ in 0..threads.min(n) {
-                scope.spawn(|_| loop {
-                    let s = next_source.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if s >= n {
-                        break;
+            for (chunk_index, chunk) in dist.chunks_mut(rows_per_chunk * n).enumerate() {
+                scope.spawn(move |_| {
+                    for (offset, row) in chunk.chunks_mut(n).enumerate() {
+                        let s = chunk_index * rows_per_chunk + offset;
+                        let tree = dijkstra(g, NodeId::from_index(s));
+                        row.copy_from_slice(&tree.dist);
                     }
-                    let tree = dijkstra(g, NodeId::from_index(s));
-                    let mut guard = dist.lock();
-                    guard[s * n..(s + 1) * n].copy_from_slice(&tree.dist);
                 });
             }
         })
         .expect("distance-matrix worker panicked");
 
-        DistanceMatrix { n, dist: dist.into_inner() }
+        DistanceMatrix { n, dist }
+    }
+
+    /// The forward row `d(u, ·)` as a borrowed slice (the zero-copy
+    /// counterpart of [`crate::DistanceOracle::row`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[inline]
+    pub fn row_slice(&self, u: NodeId) -> &[Distance] {
+        &self.dist[u.index() * self.n..(u.index() + 1) * self.n]
     }
 
     /// Number of nodes.

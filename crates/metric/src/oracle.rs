@@ -1,0 +1,563 @@
+//! The [`DistanceOracle`] abstraction: pluggable access to the shortest-path
+//! and roundtrip metric of a graph.
+//!
+//! The paper's schemes (and every structure they are built from — orders,
+//! balls, covers, substrates) only ever *query* the roundtrip metric; nothing
+//! in their definitions requires an eagerly materialised `n × n` table.  This
+//! module makes that access pluggable:
+//!
+//! * [`crate::DistanceMatrix`] — the dense oracle.  `O(n²)` memory, `O(1)`
+//!   queries, one Dijkstra per source at build time.  The right choice up to a
+//!   few thousand nodes, where later stages perform millions of random
+//!   lookups.
+//! * [`LazyDijkstraOracle`] — the sparse/on-demand oracle.  No precomputation;
+//!   a forward (and, for reverse distances, a backward) Dijkstra runs the
+//!   first time a source's row is touched, and finished rows live in a
+//!   **bounded LRU cache**.  Peak memory is `O(capacity · n)` instead of
+//!   `O(n²)`, which is what makes `n = 10⁴–10⁵` sparse graphs reachable.
+//!   Point queries on cold rows cost a Dijkstra, so consumers should prefer
+//!   the row-granular methods ([`DistanceOracle::row`],
+//!   [`DistanceOracle::roundtrip_row`]) and sweep source by source.
+//! * [`CachedSubsetOracle`] — the memoising middle ground: rows are computed
+//!   on demand and kept forever.  When a construction only touches a subset
+//!   of sources (for example a cover hierarchy probing seeds and cluster
+//!   members), only those rows are ever materialised.
+//!
+//! The trade-off in one line: **dense pays `n²` up front for free queries;
+//! lazy pays a Dijkstra per row miss for `O(capacity·n)` memory; the subset
+//! oracle pays each row once for `O(touched·n)` memory.**
+
+use crate::matrix::DistanceMatrix;
+use parking_lot::Mutex;
+use rtr_graph::algo::dijkstra::{dijkstra, dijkstra_reverse};
+use rtr_graph::types::saturating_dist_add;
+use rtr_graph::{DiGraph, Distance, NodeId, INFINITY};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Read access to the one-way and roundtrip distances of a fixed graph.
+///
+/// Implementations must be consistent: `roundtrip(u, v)` equals
+/// `distance(u, v) + distance(v, u)` (saturating at [`INFINITY`]), and the
+/// row methods must agree with the point methods entry by entry.  All methods
+/// take `&self`; implementations with interior caches (the lazy oracles) are
+/// internally synchronised, so an oracle can be shared across construction
+/// worker threads.
+pub trait DistanceOracle: Sync + fmt::Debug {
+    /// Number of nodes of the underlying graph.
+    fn node_count(&self) -> usize;
+
+    /// One-way distance `d(u, v)`, [`INFINITY`] when unreachable.
+    fn distance(&self, u: NodeId, v: NodeId) -> Distance;
+
+    /// Roundtrip distance `r(u, v) = d(u, v) + d(v, u)` (paper §1.1).
+    fn roundtrip(&self, u: NodeId, v: NodeId) -> Distance {
+        saturating_dist_add(self.distance(u, v), self.distance(v, u))
+    }
+
+    /// Bulk row hook: `d(u, v)` for every `v`, as one vector.
+    ///
+    /// Row-granular access is the unit the lazy oracles cache, so consumers
+    /// that sweep sources (orders, balls, landmark selection) should use this
+    /// instead of `n` point queries.
+    fn row(&self, u: NodeId) -> Vec<Distance>;
+
+    /// Bulk reverse-row hook: `d(v, u)` for every `v` (distances *to* `u`).
+    fn rev_row(&self, u: NodeId) -> Vec<Distance>;
+
+    /// Bulk roundtrip row: `r(u, v)` for every `v`.  Needs only the forward
+    /// and reverse rows of `u`, so even the lazy oracles serve it with two
+    /// Dijkstras.
+    fn roundtrip_row(&self, u: NodeId) -> Vec<Distance> {
+        let fwd = self.row(u);
+        let rev = self.rev_row(u);
+        fwd.iter().zip(&rev).map(|(&a, &b)| saturating_dist_add(a, b)).collect()
+    }
+
+    /// True when every ordered pair is reachable.
+    ///
+    /// The default checks the forward and reverse rows of node 0 — all nodes
+    /// reachable from 0 and 0 reachable from all nodes is equivalent to strong
+    /// connectivity — so lazy implementations answer with two Dijkstras
+    /// instead of `n`.
+    fn is_strongly_connected(&self) -> bool {
+        if self.node_count() == 0 {
+            return true;
+        }
+        let v0 = NodeId(0);
+        self.row(v0).iter().all(|&d| d != INFINITY)
+            && self.rev_row(v0).iter().all(|&d| d != INFINITY)
+    }
+
+    /// An upper bound on the roundtrip diameter `RTDiam(G)`, tight enough to
+    /// terminate scale hierarchies.
+    ///
+    /// The default uses the triangle inequality through node 0:
+    /// `r(u, v) ≤ r(u, 0) + r(0, v) ≤ 2·max_w r(0, w)` — two Dijkstras, at
+    /// most a factor-2 overestimate (one extra doubling level in a cover
+    /// hierarchy).  Dense oracles override this with the exact diameter.
+    fn roundtrip_diameter_bound(&self) -> Distance {
+        if self.node_count() == 0 {
+            return 0;
+        }
+        let worst = self.roundtrip_row(NodeId(0)).into_iter().max().unwrap_or(0);
+        if worst == INFINITY {
+            INFINITY
+        } else {
+            worst.saturating_mul(2)
+        }
+    }
+
+    /// Stretch of a measured roundtrip length against `r(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or the pair is unreachable.
+    fn roundtrip_stretch(&self, u: NodeId, v: NodeId, measured: Distance) -> f64 {
+        assert_ne!(u, v, "roundtrip stretch undefined for identical endpoints");
+        let r = self.roundtrip(u, v);
+        assert!(r != INFINITY && r > 0, "pair ({u},{v}) unreachable");
+        measured as f64 / r as f64
+    }
+
+    /// Verifies `measured ≤ bound_num/bound_den · r(u, v)` in exact integer
+    /// arithmetic — how the test-suite asserts the paper's stretch bounds.
+    fn within_stretch(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        measured: Distance,
+        bound_num: u64,
+        bound_den: u64,
+    ) -> bool {
+        let r = self.roundtrip(u, v);
+        if r == INFINITY {
+            return false;
+        }
+        (measured as u128) * (bound_den as u128) <= (bound_num as u128) * (r as u128)
+    }
+}
+
+/// Blanket impl so `&O` and `&dyn DistanceOracle` satisfy oracle bounds too.
+impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+    fn distance(&self, u: NodeId, v: NodeId) -> Distance {
+        (**self).distance(u, v)
+    }
+    fn roundtrip(&self, u: NodeId, v: NodeId) -> Distance {
+        (**self).roundtrip(u, v)
+    }
+    fn row(&self, u: NodeId) -> Vec<Distance> {
+        (**self).row(u)
+    }
+    fn rev_row(&self, u: NodeId) -> Vec<Distance> {
+        (**self).rev_row(u)
+    }
+    fn roundtrip_row(&self, u: NodeId) -> Vec<Distance> {
+        (**self).roundtrip_row(u)
+    }
+    fn is_strongly_connected(&self) -> bool {
+        (**self).is_strongly_connected()
+    }
+    fn roundtrip_diameter_bound(&self) -> Distance {
+        (**self).roundtrip_diameter_bound()
+    }
+}
+
+impl DistanceOracle for DistanceMatrix {
+    fn node_count(&self) -> usize {
+        DistanceMatrix::node_count(self)
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Distance {
+        DistanceMatrix::distance(self, u, v)
+    }
+
+    fn roundtrip(&self, u: NodeId, v: NodeId) -> Distance {
+        DistanceMatrix::roundtrip(self, u, v)
+    }
+
+    fn row(&self, u: NodeId) -> Vec<Distance> {
+        self.row_slice(u).to_vec()
+    }
+
+    fn rev_row(&self, u: NodeId) -> Vec<Distance> {
+        (0..self.node_count())
+            .map(|v| DistanceMatrix::distance(self, NodeId::from_index(v), u))
+            .collect()
+    }
+
+    fn is_strongly_connected(&self) -> bool {
+        self.all_finite()
+    }
+
+    fn roundtrip_diameter_bound(&self) -> Distance {
+        // The matrix already holds everything: return the exact diameter.
+        self.roundtrip_diameter()
+    }
+}
+
+/// Usage counters of a caching oracle, exposed for the memory-proxy
+/// accounting of the `large_sparse` experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OracleStats {
+    /// Dijkstra runs performed (each materialises one row, forward or
+    /// reverse, counted over the oracle's lifetime — recomputations after an
+    /// eviction count again).
+    pub rows_computed: usize,
+    /// Row requests answered from the cache.
+    pub cache_hits: usize,
+    /// Largest number of rows resident in the cache at any moment — the peak
+    /// memory proxy (each resident row is `n` distances).
+    pub peak_resident_rows: usize,
+    /// Rows currently resident.
+    pub resident_rows: usize,
+}
+
+/// Key of one cached row: direction + source.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum RowKey {
+    Fwd(u32),
+    Rev(u32),
+}
+
+/// The shared caching machinery of the two lazy oracles.
+struct RowCache {
+    /// Resident rows; the `u64` is a monotonically increasing use stamp
+    /// driving LRU eviction.
+    rows: HashMap<RowKey, (Arc<Vec<Distance>>, u64)>,
+    clock: u64,
+    /// Maximum resident rows; `usize::MAX` disables eviction.
+    capacity: usize,
+}
+
+impl RowCache {
+    fn new(capacity: usize) -> Self {
+        RowCache { rows: HashMap::new(), clock: 0, capacity }
+    }
+
+    fn get(&mut self, key: RowKey) -> Option<Arc<Vec<Distance>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.rows.get_mut(&key).map(|(row, stamp)| {
+            *stamp = clock;
+            Arc::clone(row)
+        })
+    }
+
+    fn insert(&mut self, key: RowKey, row: Arc<Vec<Distance>>) {
+        self.clock += 1;
+        self.rows.insert(key, (row, self.clock));
+        if self.rows.len() > self.capacity {
+            // Evict the least recently used row. A linear scan is fine: it is
+            // dwarfed by the Dijkstra that preceded every insertion.
+            if let Some(&victim) =
+                self.rows.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k)
+            {
+                self.rows.remove(&victim);
+            }
+        }
+    }
+}
+
+/// On-demand shortest-path oracle with a bounded LRU row cache.
+///
+/// Designed for large sparse graphs where the dense `n²` matrix does not fit:
+/// no work happens at construction, each row is a single-source Dijkstra on
+/// first touch, and at most `capacity` rows (forward and reverse counted
+/// separately) stay resident.  See the [module docs](self) for the trade-off
+/// against [`DistanceMatrix`] and [`CachedSubsetOracle`].
+pub struct LazyDijkstraOracle<'g> {
+    g: &'g DiGraph,
+    cache: Mutex<RowCache>,
+    rows_computed: AtomicUsize,
+    cache_hits: AtomicUsize,
+    peak_resident: AtomicUsize,
+}
+
+impl fmt::Debug for LazyDijkstraOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LazyDijkstraOracle")
+            .field("n", &self.g.node_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'g> LazyDijkstraOracle<'g> {
+    /// Creates the oracle over `g` keeping at most `capacity` rows resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(g: &'g DiGraph, capacity: usize) -> Self {
+        assert!(capacity > 0, "row cache needs capacity >= 1");
+        LazyDijkstraOracle {
+            g,
+            cache: Mutex::new(RowCache::new(capacity)),
+            rows_computed: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            peak_resident: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates the oracle with a default capacity of `max(64, n/16)` rows —
+    /// ~6% of the dense matrix's memory at large `n`.
+    pub fn with_default_capacity(g: &'g DiGraph) -> Self {
+        Self::new(g, (g.node_count() / 16).max(64))
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g DiGraph {
+        self.g
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> OracleStats {
+        OracleStats {
+            rows_computed: self.rows_computed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            peak_resident_rows: self.peak_resident.load(Ordering::Relaxed),
+            resident_rows: self.cache.lock().rows.len(),
+        }
+    }
+
+    fn fetch(&self, key: RowKey) -> Arc<Vec<Distance>> {
+        if let Some(row) = self.cache.lock().get(key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return row;
+        }
+        // Compute outside the lock so concurrent misses on different rows
+        // overlap; a racing duplicate computation is benign (same result).
+        let row = Arc::new(compute_row(self.g, key));
+        self.rows_computed.fetch_add(1, Ordering::Relaxed);
+        let resident = {
+            let mut cache = self.cache.lock();
+            cache.insert(key, Arc::clone(&row));
+            cache.rows.len()
+        };
+        self.peak_resident.fetch_max(resident, Ordering::Relaxed);
+        row
+    }
+}
+
+fn compute_row(g: &DiGraph, key: RowKey) -> Vec<Distance> {
+    match key {
+        RowKey::Fwd(s) => dijkstra(g, NodeId(s)).dist,
+        RowKey::Rev(s) => dijkstra_reverse(g, NodeId(s)).dist,
+    }
+}
+
+impl DistanceOracle for LazyDijkstraOracle<'_> {
+    fn node_count(&self) -> usize {
+        self.g.node_count()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Distance {
+        self.fetch(RowKey::Fwd(u.0))[v.index()]
+    }
+
+    fn roundtrip(&self, u: NodeId, v: NodeId) -> Distance {
+        // Both terms come from rows of `u`, so a source-by-source sweep stays
+        // cache-resident regardless of `v`.
+        let out = self.fetch(RowKey::Fwd(u.0))[v.index()];
+        let back = self.fetch(RowKey::Rev(u.0))[v.index()];
+        saturating_dist_add(out, back)
+    }
+
+    fn row(&self, u: NodeId) -> Vec<Distance> {
+        self.fetch(RowKey::Fwd(u.0)).as_ref().clone()
+    }
+
+    fn rev_row(&self, u: NodeId) -> Vec<Distance> {
+        self.fetch(RowKey::Rev(u.0)).as_ref().clone()
+    }
+}
+
+/// Memoising oracle that materialises only the rows actually touched, and
+/// keeps them for the oracle's lifetime (no eviction).
+///
+/// The right choice for constructions that revisit a *subset* of sources many
+/// times — e.g. a cover hierarchy repeatedly measuring the same seeds — where
+/// LRU eviction would thrash and the dense matrix would waste the untouched
+/// rows.  [`materialised_rows`](Self::materialised_rows) reports how much of
+/// the `n²` table was ever needed.
+pub struct CachedSubsetOracle<'g> {
+    inner: LazyDijkstraOracle<'g>,
+}
+
+impl fmt::Debug for CachedSubsetOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachedSubsetOracle")
+            .field("n", &self.inner.g.node_count())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'g> CachedSubsetOracle<'g> {
+    /// Creates the oracle over `g`.
+    pub fn new(g: &'g DiGraph) -> Self {
+        CachedSubsetOracle { inner: LazyDijkstraOracle::new(g, usize::MAX) }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g DiGraph {
+        self.inner.graph()
+    }
+
+    /// Number of rows (forward + reverse) ever materialised.
+    pub fn materialised_rows(&self) -> usize {
+        self.inner.stats().rows_computed
+    }
+
+    /// Current usage counters.
+    pub fn stats(&self) -> OracleStats {
+        self.inner.stats()
+    }
+}
+
+impl DistanceOracle for CachedSubsetOracle<'_> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn distance(&self, u: NodeId, v: NodeId) -> Distance {
+        self.inner.distance(u, v)
+    }
+
+    fn roundtrip(&self, u: NodeId, v: NodeId) -> Distance {
+        self.inner.roundtrip(u, v)
+    }
+
+    fn row(&self, u: NodeId) -> Vec<Distance> {
+        self.inner.row(u)
+    }
+
+    fn rev_row(&self, u: NodeId) -> Vec<Distance> {
+        self.inner.rev_row(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::generators::{strongly_connected_gnp, Family};
+
+    /// Every oracle implementation must agree with the dense matrix on every
+    /// pair, across all generator families and several seeds.
+    #[test]
+    fn oracles_agree_with_dense_matrix_across_families() {
+        for family in Family::ALL {
+            for seed in [1u64, 7, 23] {
+                let g = family.generate(28, seed).unwrap();
+                let dense = DistanceMatrix::build(&g);
+                let lazy = LazyDijkstraOracle::new(&g, 4);
+                let subset = CachedSubsetOracle::new(&g);
+                for u in g.nodes() {
+                    for v in g.nodes() {
+                        let d = DistanceOracle::distance(&dense, u, v);
+                        assert_eq!(lazy.distance(u, v), d, "{} seed {seed}", family.name());
+                        assert_eq!(subset.distance(u, v), d, "{} seed {seed}", family.name());
+                        let r = DistanceOracle::roundtrip(&dense, u, v);
+                        assert_eq!(lazy.roundtrip(u, v), r);
+                        assert_eq!(subset.roundtrip(u, v), r);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_agree_with_point_queries() {
+        let g = strongly_connected_gnp(30, 0.12, 5).unwrap();
+        let dense = DistanceMatrix::build(&g);
+        let lazy = LazyDijkstraOracle::new(&g, 8);
+        for u in g.nodes() {
+            let fwd = lazy.row(u);
+            let rev = lazy.rev_row(u);
+            let rt = lazy.roundtrip_row(u);
+            for v in g.nodes() {
+                assert_eq!(fwd[v.index()], dense.distance(u, v));
+                assert_eq!(rev[v.index()], dense.distance(v, u));
+                assert_eq!(rt[v.index()], dense.roundtrip(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn lru_capacity_bounds_resident_rows() {
+        let g = strongly_connected_gnp(40, 0.1, 9).unwrap();
+        let cap = 6;
+        let lazy = LazyDijkstraOracle::new(&g, cap);
+        for u in g.nodes() {
+            let _ = lazy.roundtrip_row(u);
+        }
+        let stats = lazy.stats();
+        assert!(
+            stats.peak_resident_rows <= cap + 1,
+            "peak {} > cap {cap}",
+            stats.peak_resident_rows
+        );
+        assert!(stats.resident_rows <= cap + 1);
+        // Every source needed a forward and a reverse row.
+        assert!(stats.rows_computed >= 2 * g.node_count());
+    }
+
+    #[test]
+    fn repeated_access_hits_the_cache() {
+        let g = strongly_connected_gnp(20, 0.2, 3).unwrap();
+        let lazy = LazyDijkstraOracle::new(&g, 64);
+        let u = NodeId(4);
+        let a = lazy.row(u);
+        let before = lazy.stats().rows_computed;
+        let b = lazy.row(u);
+        assert_eq!(a, b);
+        assert_eq!(lazy.stats().rows_computed, before, "second access recomputed the row");
+        assert!(lazy.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn subset_oracle_materialises_only_touched_rows() {
+        let g = strongly_connected_gnp(50, 0.08, 11).unwrap();
+        let oracle = CachedSubsetOracle::new(&g);
+        let _ = oracle.row(NodeId(0));
+        let _ = oracle.row(NodeId(1));
+        let _ = oracle.rev_row(NodeId(0));
+        assert_eq!(oracle.materialised_rows(), 3);
+        // Re-touching costs nothing.
+        let _ = oracle.row(NodeId(0));
+        assert_eq!(oracle.materialised_rows(), 3);
+    }
+
+    #[test]
+    fn strong_connectivity_check_agrees_with_graph() {
+        let g = strongly_connected_gnp(25, 0.1, 2).unwrap();
+        let lazy = LazyDijkstraOracle::with_default_capacity(&g);
+        assert!(lazy.is_strongly_connected());
+
+        let mut b = rtr_graph::DiGraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(0), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        let g = b.build().unwrap();
+        assert!(!LazyDijkstraOracle::with_default_capacity(&g).is_strongly_connected());
+    }
+
+    #[test]
+    fn diameter_bound_is_a_true_upper_bound() {
+        for seed in [1u64, 4, 9] {
+            let g = strongly_connected_gnp(32, 0.1, seed).unwrap();
+            let dense = DistanceMatrix::build(&g);
+            let lazy = LazyDijkstraOracle::with_default_capacity(&g);
+            let exact = dense.roundtrip_diameter();
+            assert!(lazy.roundtrip_diameter_bound() >= exact);
+            assert!(lazy.roundtrip_diameter_bound() <= exact.saturating_mul(2));
+            assert_eq!(DistanceOracle::roundtrip_diameter_bound(&dense), exact);
+        }
+    }
+}

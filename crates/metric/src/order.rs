@@ -1,6 +1,7 @@
 //! The total order `≺_v` and the neighborhood balls `N_i(u)` of paper §2/§3.
 
-use crate::matrix::DistanceMatrix;
+use crate::oracle::DistanceOracle;
+use rtr_graph::types::saturating_dist_add;
 use rtr_graph::NodeId;
 use std::cmp::Ordering;
 
@@ -12,50 +13,106 @@ use std::cmp::Ordering;
 /// 3. remaining ties broken by node id.
 ///
 /// The result is a strict total order for every fixed `v`.
-pub fn roundtrip_closer(m: &DistanceMatrix, v: NodeId, a: NodeId, b: NodeId) -> Ordering {
+pub fn roundtrip_closer<O: DistanceOracle + ?Sized>(
+    m: &O,
+    v: NodeId,
+    a: NodeId,
+    b: NodeId,
+) -> Ordering {
     let key = |x: NodeId| (m.roundtrip(v, x), m.distance(x, v), x.0);
     key(a).cmp(&key(b))
 }
 
-/// The full order `Init_v` for every node `v`, plus prefix ("neighborhood
-/// ball") queries.
+/// The order `Init_v` for every node `v`, plus prefix ("neighborhood ball")
+/// queries.
 ///
 /// `Init_v` starts with `v` itself (its roundtrip distance to itself is 0) and
 /// lists all other nodes in `≺_v` order. The §2 scheme uses the first `√n`
 /// entries as `N(v)`; the §3 scheme uses the first `n^{i/k}` entries as
 /// `N_i(v)`.
+///
+/// Two build modes exist:
+///
+/// * [`build`](Self::build) stores the **full** order for every node plus a
+///   dense inverse permutation — `O(n²)` memory, `O(1)` rank queries; right
+///   for moderate `n` and for consumers that need deep prefixes.
+/// * [`build_truncated`](Self::build_truncated) stores only the first `cap`
+///   entries per node — `O(n·cap)` memory. The stored prefix is *identical*
+///   to the full order's prefix (same sort keys), so any consumer whose
+///   neighborhood queries stay within `cap` gets bit-identical results. This
+///   is what lets the schemes run at `n = 10⁴⁺` through a lazy oracle without
+///   ever holding an `n²` structure.
+///
+/// Either way, construction consumes the oracle row-wise — two rows (forward
+/// and reverse) per source, swept source by source, in parallel across
+/// worker threads that each own a disjoint chunk of sources.
 #[derive(Debug, Clone)]
 pub struct RoundtripOrder {
-    /// `orders[v][rank] = rank`-th closest node to `v` (rank 0 is `v`).
+    n: usize,
+    stored: usize,
+    /// `orders[v][rank] = rank`-th closest node to `v` (rank 0 is `v`),
+    /// truncated to `stored` entries.
     orders: Vec<Vec<NodeId>>,
-    /// `rank_of[v][u] = rank of u in Init_v` (inverse permutation).
-    rank_of: Vec<Vec<u32>>,
+    /// `rank_of[v][u] = rank of u in Init_v` (dense inverse permutation);
+    /// present only for full builds.
+    rank_of: Option<Vec<Vec<u32>>>,
 }
 
 impl RoundtripOrder {
-    /// Computes `Init_v` for every `v` from a distance matrix.
-    pub fn build(m: &DistanceMatrix) -> Self {
+    /// Computes the full `Init_v` for every `v` from a distance oracle.
+    pub fn build<O: DistanceOracle + ?Sized>(m: &O) -> Self {
         let n = m.node_count();
-        let mut orders = Vec::with_capacity(n);
+        let mut order = Self::build_truncated(m, n);
+        // Dense inverse permutation for O(1) rank queries.
         let mut rank_of = vec![vec![0u32; n]; n];
-        for vi in 0..n {
-            let v = NodeId::from_index(vi);
-            let mut nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
-            nodes.sort_by(|&a, &b| roundtrip_closer(m, v, a, b));
-            for (rank, &u) in nodes.iter().enumerate() {
+        for (vi, init) in order.orders.iter().enumerate() {
+            for (rank, &u) in init.iter().enumerate() {
                 rank_of[vi][u.index()] = rank as u32;
             }
-            orders.push(nodes);
         }
-        RoundtripOrder { orders, rank_of }
+        order.rank_of = Some(rank_of);
+        order
+    }
+
+    /// Computes only the first `cap` entries of `Init_v` for every `v`
+    /// (clamped to `n`). Memory is `O(n · cap)`; neighborhood queries beyond
+    /// `cap` panic — pick `cap` as the largest level size the consumer uses
+    /// (`level_size(n, k−1, k)` covers every dictionary lookup of a
+    /// parameter-`k` scheme).
+    pub fn build_truncated<O: DistanceOracle + ?Sized>(m: &O, cap: usize) -> Self {
+        let n = m.node_count();
+        let cap = cap.min(n).max(1.min(n));
+        let mut orders: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        if n == 0 {
+            return RoundtripOrder { n, stored: 0, orders, rank_of: None };
+        }
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+        let chunk = n.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (ci, block) in orders.chunks_mut(chunk).enumerate() {
+                scope.spawn(move |_| {
+                    for (offset, slot) in block.iter_mut().enumerate() {
+                        let v = NodeId::from_index(ci * chunk + offset);
+                        *slot = prefix_for_source(m, v, cap);
+                    }
+                });
+            }
+        })
+        .expect("roundtrip-order worker panicked");
+        RoundtripOrder { n, stored: cap, orders, rank_of: None }
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.orders.len()
+        self.n
     }
 
-    /// The full sequence `Init_v`.
+    /// How many entries of each `Init_v` are stored (`n` for full builds).
+    pub fn stored_prefix(&self) -> usize {
+        self.stored
+    }
+
+    /// The stored prefix of `Init_v` (the full sequence for full builds).
     ///
     /// # Panics
     ///
@@ -66,19 +123,44 @@ impl RoundtripOrder {
 
     /// The neighborhood `N(v)` consisting of the first `size` nodes of
     /// `Init_v` (including `v` itself). `size` is clamped to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clamped `size` exceeds the stored prefix of a truncated
+    /// build.
     pub fn neighborhood(&self, v: NodeId, size: usize) -> &[NodeId] {
-        let k = size.min(self.orders[v.index()].len());
+        let k = size.min(self.n);
+        assert!(
+            k <= self.stored,
+            "neighborhood size {k} exceeds the stored prefix {} of a truncated order",
+            self.stored
+        );
         &self.orders[v.index()][..k]
     }
 
     /// The rank of `u` in `Init_v` (0 for `u == v`).
+    ///
+    /// # Panics
+    ///
+    /// On a truncated build, panics if `u` lies beyond the stored prefix of
+    /// `Init_v`.
     pub fn rank(&self, v: NodeId, u: NodeId) -> usize {
-        self.rank_of[v.index()][u.index()] as usize
+        match &self.rank_of {
+            Some(dense) => dense[v.index()][u.index()] as usize,
+            None => self.orders[v.index()]
+                .iter()
+                .position(|&x| x == u)
+                .expect("rank query beyond the stored prefix of a truncated order"),
+        }
     }
 
     /// Whether `u` lies in the first `size` entries of `Init_v`.
     pub fn in_neighborhood(&self, v: NodeId, u: NodeId, size: usize) -> bool {
-        self.rank(v, u) < size
+        let size = size.min(self.n);
+        match &self.rank_of {
+            Some(dense) => (dense[v.index()][u.index()] as usize) < size,
+            None => self.neighborhood(v, size).contains(&u),
+        }
     }
 
     /// The size of the `i`-th level neighborhood `N_i(v) = first ⌈n^{i/k}⌉`
@@ -103,9 +185,28 @@ impl RoundtripOrder {
     }
 }
 
+/// The first `cap` entries of `Init_v`, computed from the forward and reverse
+/// rows of `v` alone.
+fn prefix_for_source<O: DistanceOracle + ?Sized>(m: &O, v: NodeId, cap: usize) -> Vec<NodeId> {
+    let fwd = m.row(v);
+    let rev = m.rev_row(v);
+    let key = |x: u32| {
+        let xi = x as usize;
+        (saturating_dist_add(fwd[xi], rev[xi]), rev[xi], x)
+    };
+    let mut nodes: Vec<u32> = (0..fwd.len() as u32).collect();
+    if cap < nodes.len() {
+        nodes.select_nth_unstable_by_key(cap, |&x| key(x));
+        nodes.truncate(cap);
+    }
+    nodes.sort_unstable_by_key(|&x| key(x));
+    nodes.into_iter().map(NodeId).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DistanceMatrix, LazyDijkstraOracle};
     use rtr_graph::generators::{directed_ring, strongly_connected_gnp};
 
     fn setup(n: usize, seed: u64) -> (rtr_graph::DiGraph, DistanceMatrix, RoundtripOrder) {
@@ -182,6 +283,42 @@ mod tests {
     fn neighborhood_clamps_to_n() {
         let (_g, _m, o) = setup(10, 6);
         assert_eq!(o.neighborhood(NodeId(0), 999).len(), 10);
+    }
+
+    #[test]
+    fn truncated_build_matches_full_prefix() {
+        let (g, m, full) = setup(32, 11);
+        for cap in [1usize, 5, 13, 32] {
+            let truncated = RoundtripOrder::build_truncated(&m, cap);
+            assert_eq!(truncated.stored_prefix(), cap.min(32));
+            for v in g.nodes() {
+                assert_eq!(truncated.init(v), &full.init(v)[..cap.min(32)]);
+                assert_eq!(truncated.neighborhood(v, cap), full.neighborhood(v, cap));
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_build_through_lazy_oracle_matches_dense() {
+        let g = strongly_connected_gnp(28, 0.15, 21).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let lazy = LazyDijkstraOracle::new(&g, 4);
+        let dense_order = RoundtripOrder::build_truncated(&m, 8);
+        let lazy_order = RoundtripOrder::build_truncated(&lazy, 8);
+        for v in g.nodes() {
+            assert_eq!(dense_order.init(v), lazy_order.init(v));
+        }
+        // The order build swept rows source by source; the bounded cache must
+        // never have held more than its capacity.
+        assert!(lazy.stats().peak_resident_rows <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "stored prefix")]
+    fn truncated_rejects_oversized_neighborhood_queries() {
+        let (_g, m, _o) = setup(20, 8);
+        let truncated = RoundtripOrder::build_truncated(&m, 4);
+        truncated.neighborhood(NodeId(0), 10);
     }
 
     #[test]

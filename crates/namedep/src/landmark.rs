@@ -29,7 +29,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rtr_graph::algo::dijkstra::dijkstra;
 use rtr_graph::{DiGraph, NodeId, Port};
-use rtr_metric::DistanceMatrix;
+use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
 use rtr_trees::{InTree, OutTree, TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
@@ -113,11 +113,19 @@ pub struct LandmarkBallScheme {
 impl LandmarkBallScheme {
     /// Builds the substrate.
     ///
+    /// Generic over the distance oracle; the construction touches the metric
+    /// only through per-source roundtrip rows (landmark selection and ball
+    /// extraction for node `u` both read the rows of `u`), so a lazy oracle
+    /// serves it with two Dijkstras per node and a bounded cache.
+    ///
     /// # Panics
     ///
     /// Panics if the graph is not strongly connected.
-    pub fn build(g: &DiGraph, m: &DistanceMatrix, params: LandmarkParams) -> Self {
-        assert!(m.all_finite(), "landmark substrate requires a strongly connected graph");
+    pub fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, params: LandmarkParams) -> Self {
+        assert!(
+            m.is_strongly_connected(),
+            "landmark substrate requires a strongly connected graph"
+        );
         let n = g.node_count();
         let target_landmarks = ((n as f64 * (n.max(2) as f64).ln()).sqrt() * params.landmark_factor)
             .ceil()
@@ -139,33 +147,35 @@ impl LandmarkBallScheme {
             let router = TreeRouter::build(&out_tree);
             for v in g.nodes() {
                 let tree_table = *router.table(v).expect("out-tree spans all nodes");
-                records[v.index()].push(LandmarkRecord { up_port: in_tree.next_port(v), tree_table });
+                records[v.index()]
+                    .push(LandmarkRecord { up_port: in_tree.next_port(v), tree_table });
             }
             routers.push(router);
         }
 
-        // Nearest landmark per node and roundtrip balls.
+        // Nearest landmark and roundtrip ball per node, from one roundtrip
+        // row per source (the landmark comparison and the ball threshold read
+        // the same row, so each source costs the oracle at most two
+        // Dijkstras regardless of implementation).
         let mut nearest_landmark = vec![0u32; n];
         let mut balls: Vec<HashMap<NodeId, Port>> = vec![HashMap::new(); n];
         let ball_cap = ((n as f64).sqrt() * params.ball_factor).ceil() as usize;
         let mut max_ball_size = 0usize;
-        for v in g.nodes() {
+        for u in g.nodes() {
+            let rt_row = m.roundtrip_row(u);
             let (li, _) = landmarks
                 .iter()
                 .enumerate()
-                .map(|(i, &l)| (i, m.roundtrip(v, l)))
+                .map(|(i, &l)| (i, rt_row[l.index()]))
                 .min_by_key(|&(i, d)| (d, i))
                 .expect("at least one landmark");
-            nearest_landmark[v.index()] = li as u32;
-        }
-        for u in g.nodes() {
-            let r_to_landmarks = m.roundtrip(u, landmarks[nearest_landmark[u.index()] as usize]);
+            nearest_landmark[u.index()] = li as u32;
+
+            let r_to_landmarks = rt_row[landmarks[li].index()];
             // Candidate ball members, nearest first, capped.
-            let mut members: Vec<NodeId> = g
-                .nodes()
-                .filter(|&w| w != u && m.roundtrip(u, w) < r_to_landmarks)
-                .collect();
-            members.sort_by_key(|&w| (m.roundtrip(u, w), w.0));
+            let mut members: Vec<NodeId> =
+                g.nodes().filter(|&w| w != u && rt_row[w.index()] < r_to_landmarks).collect();
+            members.sort_by_key(|&w| (rt_row[w.index()], w.0));
             members.truncate(ball_cap);
             if !members.is_empty() {
                 let sp = dijkstra(g, u);
@@ -233,10 +243,8 @@ impl NameDependentSubstrate for LandmarkBallScheme {
 
     fn label_for(&self, v: NodeId) -> LandmarkLabel {
         let li = self.nearest_landmark[v.index()];
-        let tree_label = self.routers[li as usize]
-            .label(v)
-            .expect("landmark out-tree spans all nodes")
-            .clone();
+        let tree_label =
+            self.routers[li as usize].label(v).expect("landmark out-tree spans all nodes").clone();
         LandmarkLabel {
             target: v,
             landmark_index: li,
@@ -281,10 +289,9 @@ impl NameDependentSubstrate for LandmarkBallScheme {
         match TreeRouter::step(&record.tree_table, &label.tree_label) {
             TreeStep::Deliver => Ok(ForwardAction::Deliver),
             TreeStep::Forward(port) => Ok(ForwardAction::Forward(port)),
-            TreeStep::NotInSubtree => Err(RoutingError::new(
-                at,
-                "destination left the landmark subtree during descent",
-            )),
+            TreeStep::NotInSubtree => {
+                Err(RoutingError::new(at, "destination left the landmark subtree during descent"))
+            }
         }
     }
 
@@ -312,6 +319,7 @@ mod tests {
     use super::*;
     use crate::substrate::harness::drive;
     use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp, Family};
+    use rtr_metric::DistanceMatrix;
 
     fn build(n: usize, seed: u64) -> (DiGraph, DistanceMatrix, LandmarkBallScheme) {
         let g = strongly_connected_gnp(n, 0.08, seed).unwrap();
@@ -340,7 +348,7 @@ mod tests {
         let (g, m, s) = build(50, 2);
         let mut checked = 0;
         for u in g.nodes() {
-            for (&v, _) in &s.balls[u.index()] {
+            for &v in s.balls[u.index()].keys() {
                 let (path, w) = drive(&g, &s, u, s.label_for(v));
                 assert_eq!(*path.last().unwrap(), v);
                 if path.iter().take(path.len() - 1).all(|x| s.balls[x.index()].contains_key(&v)) {

@@ -48,8 +48,7 @@ impl ExactOracleScheme {
         let mut next_port = Vec::with_capacity(n);
         for t in g.nodes() {
             let tree = dijkstra_reverse(g, t);
-            let ports: Vec<Option<Port>> =
-                g.nodes().map(|v| tree.parent_port[v.index()]).collect();
+            let ports: Vec<Option<Port>> = g.nodes().map(|v| tree.parent_port[v.index()]).collect();
             next_port.push(ports);
         }
         ExactOracleScheme { n, next_port }

@@ -17,7 +17,7 @@
 use crate::substrate::{LabelBits, NameDependentSubstrate};
 use rtr_cover::{DoubleTreeCover, TreeId};
 use rtr_graph::{DiGraph, NodeId, Port};
-use rtr_metric::DistanceMatrix;
+use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
 use rtr_trees::{TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
@@ -78,14 +78,18 @@ impl TreeCoverScheme {
     /// # Panics
     ///
     /// Panics if `k < 2` or the graph is not strongly connected.
-    pub fn build(g: &DiGraph, m: &DistanceMatrix, k: u32) -> Self {
+    pub fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, k: u32) -> Self {
         let cover = DoubleTreeCover::build(g, m, k);
         Self::from_cover(g, m, &cover)
     }
 
     /// Builds the substrate from an existing hierarchy (lets callers share one
     /// [`DoubleTreeCover`] between the substrate and a §4 scheme).
-    pub fn from_cover(g: &DiGraph, m: &DistanceMatrix, cover: &DoubleTreeCover) -> Self {
+    pub fn from_cover<O: DistanceOracle + ?Sized>(
+        g: &DiGraph,
+        m: &O,
+        cover: &DoubleTreeCover,
+    ) -> Self {
         let n = g.node_count();
         let mut records: Vec<HashMap<TreeId, TreeRecord>> = vec![HashMap::new(); n];
         let mut routers: HashMap<TreeId, TreeRouter> = HashMap::new();
@@ -136,9 +140,8 @@ impl TreeCoverScheme {
             .map(|l| l.bits(n))
             .max()
             .unwrap_or(0);
-        let max_label_bits = word
-            + TreeId::bits(cover.level_count(), max_trees_per_level)
-            + max_tree_label_bits;
+        let max_label_bits =
+            word + TreeId::bits(cover.level_count(), max_trees_per_level) + max_tree_label_bits;
 
         let _ = m;
         TreeCoverScheme {
@@ -196,8 +199,7 @@ impl NameDependentSubstrate for TreeCoverScheme {
         // The top-level home tree of v spans every node, so its label is
         // globally valid (the analogue of RTZ's 4k+ε global labels).
         let top = self.level_count - 1;
-        self.label_in_tree(self.home_tree(v, top), v)
-            .expect("v is a member of its own home tree")
+        self.label_in_tree(self.home_tree(v, top), v).expect("v is a member of its own home tree")
     }
 
     fn pair_label(&self, from: NodeId, to: NodeId) -> TreeCoverLabel {
@@ -252,6 +254,7 @@ mod tests {
     use super::*;
     use crate::substrate::harness::drive;
     use rtr_graph::generators::{bidirected_grid, strongly_connected_gnp};
+    use rtr_metric::DistanceMatrix;
 
     fn build(n: usize, seed: u64, k: u32) -> (DiGraph, DistanceMatrix, TreeCoverScheme) {
         let g = strongly_connected_gnp(n, 0.1, seed).unwrap();

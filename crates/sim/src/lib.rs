@@ -29,4 +29,4 @@ mod traits;
 
 pub use report::{RoundtripReport, Trace};
 pub use runtime::{SimError, Simulator, SimulatorConfig};
-pub use traits::{id_bits, ForwardAction, HeaderBits, RoutingError, RoundtripRouting, TableStats};
+pub use traits::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};

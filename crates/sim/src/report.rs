@@ -1,11 +1,10 @@
 //! Traces and roundtrip reports with exact stretch accounting.
 
 use rtr_graph::{Distance, NodeId};
-use rtr_metric::DistanceMatrix;
-use serde::{Deserialize, Serialize};
+use rtr_metric::DistanceOracle;
 
 /// The record of one packet's trip through the network.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     /// The sequence of nodes visited, starting at the injection point and
     /// ending at the node that delivered the packet.
@@ -35,7 +34,7 @@ impl Trace {
 
 /// The two traces of one roundtrip request `(s → t, t → s)` plus derived
 /// accounting.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundtripReport {
     /// Source node `s`.
     pub source: NodeId,
@@ -69,12 +68,12 @@ impl RoundtripReport {
     /// # Panics
     ///
     /// Panics if `s == t` or the pair is unreachable in `m`.
-    pub fn stretch(&self, m: &DistanceMatrix) -> f64 {
+    pub fn stretch<O: DistanceOracle + ?Sized>(&self, m: &O) -> f64 {
         m.roundtrip_stretch(self.source, self.destination, self.total_weight())
     }
 
     /// Exact integer check that the roundtrip is within `num/den · r(s, t)`.
-    pub fn within_stretch(&self, m: &DistanceMatrix, num: u64, den: u64) -> bool {
+    pub fn within_stretch<O: DistanceOracle + ?Sized>(&self, m: &O, num: u64, den: u64) -> bool {
         m.within_stretch(self.source, self.destination, self.total_weight(), num, den)
     }
 }
@@ -119,6 +118,7 @@ mod tests {
     #[test]
     fn stretch_against_matrix() {
         use rtr_graph::generators::directed_ring;
+        use rtr_metric::DistanceMatrix;
         let g = directed_ring(4, 0).unwrap();
         let m = DistanceMatrix::build(&g);
         let r = m.roundtrip(NodeId(0), NodeId(1));

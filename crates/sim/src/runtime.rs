@@ -73,7 +73,9 @@ impl fmt::Display for SimError {
             SimError::PortNotFound { at, port } => {
                 write!(f, "port {port} does not exist at node {at}")
             }
-            SimError::TtlExceeded { hops } => write!(f, "packet exceeded hop budget after {hops} hops"),
+            SimError::TtlExceeded { hops } => {
+                write!(f, "packet exceeded hop budget after {hops} hops")
+            }
             SimError::WrongDelivery { delivered_at, expected } => {
                 write!(f, "packet delivered at {delivered_at}, expected {expected}")
             }
@@ -176,12 +178,18 @@ impl<'g> Simulator<'g> {
         let header = scheme.new_packet(src, dst_name)?;
         let (outbound, delivered_header) = self.run_trip(scheme, src, header)?;
         if outbound.delivered_at() != dst {
-            return Err(SimError::WrongDelivery { delivered_at: outbound.delivered_at(), expected: dst });
+            return Err(SimError::WrongDelivery {
+                delivered_at: outbound.delivered_at(),
+                expected: dst,
+            });
         }
         let return_header = scheme.make_return(dst, &delivered_header)?;
         let (inbound, _) = self.run_trip(scheme, dst, return_header)?;
         if inbound.delivered_at() != src {
-            return Err(SimError::WrongDelivery { delivered_at: inbound.delivered_at(), expected: src });
+            return Err(SimError::WrongDelivery {
+                delivered_at: inbound.delivered_at(),
+                expected: src,
+            });
         }
         Ok(RoundtripReport { source: src, destination: dst, outbound, inbound })
     }
@@ -212,7 +220,9 @@ mod tests {
 
     impl HeaderBits for RingHeader {
         fn bits(&self) -> usize {
-            64
+            // Count the mode flag so headers grow on the return leg, giving
+            // the max-header accounting something to observe.
+            64 + usize::from(self.returning)
         }
     }
 
@@ -237,13 +247,20 @@ mod tests {
             Ok(RingHeader { remaining, returning: false, origin: src, target_index })
         }
 
-        fn make_return(&self, _at: NodeId, header: &RingHeader) -> Result<RingHeader, RoutingError> {
-            let remaining =
-                (header.origin.index() + self.n - header.target_index) % self.n;
+        fn make_return(
+            &self,
+            _at: NodeId,
+            header: &RingHeader,
+        ) -> Result<RingHeader, RoutingError> {
+            let remaining = (header.origin.index() + self.n - header.target_index) % self.n;
             Ok(RingHeader { remaining, returning: true, ..header.clone() })
         }
 
-        fn forward(&self, at: NodeId, header: &mut RingHeader) -> Result<ForwardAction, RoutingError> {
+        fn forward(
+            &self,
+            at: NodeId,
+            header: &mut RingHeader,
+        ) -> Result<ForwardAction, RoutingError> {
             if header.remaining == 0 {
                 Ok(ForwardAction::Deliver)
             } else {
@@ -306,7 +323,11 @@ mod tests {
             fn make_return(&self, _at: NodeId, _h: &Nothing) -> Result<Nothing, RoutingError> {
                 Ok(Nothing)
             }
-            fn forward(&self, _at: NodeId, _h: &mut Nothing) -> Result<ForwardAction, RoutingError> {
+            fn forward(
+                &self,
+                _at: NodeId,
+                _h: &mut Nothing,
+            ) -> Result<ForwardAction, RoutingError> {
                 Ok(ForwardAction::Forward(self.port))
             }
             fn table_stats(&self, _v: NodeId) -> TableStats {

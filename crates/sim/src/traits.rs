@@ -109,7 +109,8 @@ pub trait RoundtripRouting {
     ///
     /// Returns an error only on violated invariants (a malformed header or a
     /// corrupted table); correct builds never fail.
-    fn forward(&self, at: NodeId, header: &mut Self::Header) -> Result<ForwardAction, RoutingError>;
+    fn forward(&self, at: NodeId, header: &mut Self::Header)
+        -> Result<ForwardAction, RoutingError>;
 
     /// Size accounting for the local table of `v`.
     fn table_stats(&self, v: NodeId) -> TableStats;

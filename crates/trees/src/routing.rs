@@ -23,11 +23,10 @@
 
 use crate::sptree::OutTree;
 use rtr_graph::{NodeId, Port};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Per-node routing state for one tree: a constant number of words.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeNodeTable {
     /// DFS entry index of this node.
     pub dfs_start: u32,
@@ -48,7 +47,7 @@ impl TreeNodeTable {
 }
 
 /// The compact address of a destination in one tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeLabel {
     /// DFS index of the destination.
     pub target_dfs: u32,
@@ -80,7 +79,7 @@ pub enum TreeStep {
 
 /// The tree-routing scheme for a single [`OutTree`]: per-node tables plus
 /// per-destination labels (Lemma 14).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeRouter {
     root: NodeId,
     tables: HashMap<NodeId, TreeNodeTable>,
@@ -99,8 +98,7 @@ impl TreeRouter {
         let mut stack = vec![(root, false)];
         while let Some((v, processed)) = stack.pop() {
             if processed {
-                let size: u32 =
-                    1 + tree.children(v).iter().map(|c| subtree_size[c]).sum::<u32>();
+                let size: u32 = 1 + tree.children(v).iter().map(|c| subtree_size[c]).sum::<u32>();
                 subtree_size.insert(v, size);
             } else {
                 stack.push((v, true));
@@ -142,12 +140,8 @@ impl TreeRouter {
                 // Push non-heavy children (reverse order), then heavy child last
                 // so the heavy child is visited first.
                 let heavy = heavy_child.get(&v).copied();
-                let mut light: Vec<NodeId> = tree
-                    .children(v)
-                    .iter()
-                    .copied()
-                    .filter(|c| Some(*c) != heavy)
-                    .collect();
+                let mut light: Vec<NodeId> =
+                    tree.children(v).iter().copied().filter(|c| Some(*c) != heavy).collect();
                 light.sort_unstable();
                 for &c in light.iter().rev() {
                     stack.push((c, false));
@@ -163,10 +157,7 @@ impl TreeRouter {
         for &v in tree.members() {
             let heavy = heavy_child.get(&v).copied();
             let (heavy_port, heavy_interval) = match heavy {
-                Some(h) => (
-                    tree.parent_port(h),
-                    Some((dfs_start[&h], dfs_end[&h])),
-                ),
+                Some(h) => (tree.parent_port(h), Some((dfs_start[&h], dfs_end[&h]))),
                 None => (None, None),
             };
             tables.insert(
@@ -426,15 +417,17 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_of_router() {
+    fn rebuilding_from_the_same_tree_is_identical() {
+        // Routers must be pure functions of the tree so that tables and labels
+        // can be rebuilt on any replica and stay interchangeable.
         let g = strongly_connected_gnp(20, 0.2, 2).unwrap();
         let tree = OutTree::shortest_paths(&g, NodeId(0));
         let router = TreeRouter::build(&tree);
-        let json = serde_json::to_string(&router).unwrap();
-        let router2: TreeRouter = serde_json::from_str(&json).unwrap();
+        let router2 = TreeRouter::build(&tree);
         assert_eq!(router.len(), router2.len());
         for v in g.nodes() {
             assert_eq!(router.label(v), router2.label(v));
+            assert_eq!(router.table(v), router2.table(v));
         }
     }
 }

@@ -3,7 +3,6 @@
 use rtr_graph::algo::dijkstra::{dijkstra_filtered, dijkstra_reverse_filtered};
 use rtr_graph::types::saturating_dist_add;
 use rtr_graph::{DiGraph, Distance, NodeId, Port, INFINITY};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// A shortest-paths tree rooted at a center node, oriented *away* from the
@@ -14,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 /// its parent and the port *at the parent* labelling the tree edge
 /// `parent → v`; this is exactly the information needed to forward packets
 /// down the tree.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct OutTree {
     root: NodeId,
     /// Sorted members (includes the root).
@@ -69,7 +68,8 @@ impl OutTree {
             dist.insert(v, tree.distance(v));
             if v != root {
                 let p = tree.parent[v.index()].expect("reachable non-root has a parent");
-                let port = tree.parent_port[v.index()].expect("reachable non-root has a parent port");
+                let port =
+                    tree.parent_port[v.index()].expect("reachable non-root has a parent port");
                 parent.insert(v, p);
                 parent_port.insert(v, port);
                 children.entry(p).or_default().push(v);
@@ -148,7 +148,7 @@ impl OutTree {
 /// Each member stores its next hop toward the root and the out-port of the
 /// first edge of that path — the only state a node needs in order to forward
 /// packets "up" toward the center.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InTree {
     root: NodeId,
     members: Vec<NodeId>,
@@ -256,7 +256,7 @@ impl InTree {
 /// `DoubleTree(C)` — the union of [`InTree`] and [`OutTree`] rooted at the
 /// same center (paper §3.2), supporting the "route through the center"
 /// primitive and the `RTHeight` measure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DoubleTree {
     out: OutTree,
     in_: InTree,
@@ -319,11 +319,7 @@ impl DoubleTree {
     /// `RTHeight(T)`: the maximum roundtrip distance from the root to any
     /// member (paper §3.2).
     pub fn rt_height(&self) -> Distance {
-        self.members
-            .iter()
-            .map(|&v| self.roundtrip_through_root(v))
-            .max()
-            .unwrap_or(0)
+        self.members.iter().map(|&v| self.roundtrip_through_root(v)).max().unwrap_or(0)
     }
 
     /// Cost of routing `u → root → v` inside the double tree, or
@@ -460,11 +456,7 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(dt.roundtrip_through_root(v), m.roundtrip(root, v));
         }
-        let expected_height = g
-            .nodes()
-            .map(|v| m.roundtrip(root, v))
-            .max()
-            .unwrap();
+        let expected_height = g.nodes().map(|v| m.roundtrip(root, v)).max().unwrap();
         assert_eq!(dt.rt_height(), expected_height);
     }
 
