@@ -1,0 +1,128 @@
+//! E13 — serving throughput: build the sparse scheme suite at `n = 10 000`
+//! through the lazy oracle and serve every workload from the engine's worker
+//! pool, reporting queries/sec, hop latency and tail stretch per scheme.
+//!
+//! This is the tentpole experiment of the `rtr-engine` layer: the schemes
+//! answer millions of roundtrip queries across threads, with per-worker
+//! accounting and zero per-query allocation in the engine itself.  The suite
+//! is the **sparse** configuration ([`rtr_core::SparseSchemeSuite`]): the §2
+//! and §3 schemes ride the Õ(√n) landmark + ball substrate and the §4 scheme
+//! builds its double-tree hierarchy — nothing materialises an `n²` table, so
+//! the whole run fits the lazy oracle's bounded row cache.
+//!
+//! Stretch is exact over a strided sample, answered from destination
+//! roundtrip rows (cheap under Zipf/hotspot skew; bounded by the sample size
+//! under uniform load).
+//!
+//! Environment: `RTR_N` (default 10 000), `RTR_QUERIES` per workload
+//! (default 200 000), `RTR_WORKERS` (default: available parallelism),
+//! `RTR_CACHE` lazy-oracle rows (default `n/50`), `RTR_SAMPLES` stretch
+//! samples per run (default 2 000), `RTR_SEED` (default 42).
+
+use rtr_bench::banner;
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{SparseSchemeSuite, SparseSuiteParams};
+use rtr_engine::{Engine, EngineConfig, FrozenPlane, Workload};
+use rtr_graph::generators::ring_with_chords;
+use rtr_metric::{DistanceOracle, LazyDijkstraOracle};
+use rtr_sim::RoundtripRouting;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn serve_all<S, O>(plane: &FrozenPlane<S>, engine: &Engine, m: &O, queries: usize, seed: u64)
+where
+    S: RoundtripRouting + Send + Sync,
+    O: DistanceOracle + ?Sized,
+{
+    println!(
+        "\n{:<14} {:>10} {:>9} {:>14} {:>22} {:>7}",
+        plane.scheme_name(),
+        "queries/s",
+        "avg-hops",
+        "hops p50/95/99",
+        "stretch p50/p95/p99",
+        "max-str"
+    );
+    for workload in Workload::ALL {
+        let requests = workload.generate(plane.node_count(), queries, seed);
+        let summary = engine
+            .serve(plane, &requests)
+            .unwrap_or_else(|e| panic!("{} under {}: {e}", plane.scheme_name(), workload.name()));
+        assert_eq!(summary.queries, queries);
+        let (h50, h95, h99) = summary.hop_latency();
+        let stretch = summary.stretch_summary(m).expect("strided sample is never empty");
+        println!(
+            "  {:<12} {:>10.0} {:>9.2} {:>14} {:>22} {:>7.3}",
+            workload.name(),
+            summary.queries_per_sec(),
+            summary.avg_hops(),
+            format!("{h50}/{h95}/{h99}"),
+            format!("{:.3}/{:.3}/{:.3}", stretch.p50, stretch.p95, stretch.p99),
+            stretch.max,
+        );
+    }
+}
+
+fn main() {
+    let n = env_usize("RTR_N", 10_000);
+    let queries = env_usize("RTR_QUERIES", 200_000);
+    let workers = env_usize(
+        "RTR_WORKERS",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    );
+    let cache_rows = env_usize("RTR_CACHE", (n / 50).max(16));
+    let samples = env_usize("RTR_SAMPLES", 2_000).max(1);
+    let seed = env_usize("RTR_SEED", 42) as u64;
+
+    banner(&format!(
+        "E13: serving throughput, n = {n}, {queries} queries/workload, {workers} workers"
+    ));
+    let t0 = Instant::now();
+    let g = Arc::new(ring_with_chords(n, 3 * n, seed).expect("generator failed"));
+    println!("graph: n = {}, m = {} ({:.1?})", g.node_count(), g.edge_count(), t0.elapsed());
+
+    let oracle = LazyDijkstraOracle::new(&g, cache_rows);
+    let names = NamingAssignment::random(n, seed ^ 0x517e);
+
+    let t1 = Instant::now();
+    let suite = SparseSchemeSuite::build(&g, &oracle, &names, SparseSuiteParams::default());
+    let build_stats = oracle.stats();
+    println!(
+        "sparse suite built in {:.1?} (rows computed {}, peak resident {} of {} = {:.1}% of n²)",
+        t1.elapsed(),
+        build_stats.rows_computed,
+        build_stats.peak_resident_rows,
+        n,
+        100.0 * build_stats.peak_resident_rows as f64 / n as f64
+    );
+
+    let (stretch6, exstretch, poly) = suite.into_parts();
+    let frozen_names = Arc::new(names.to_names());
+    let plane6 = FrozenPlane::freeze(Arc::clone(&g), stretch6, Arc::clone(&frozen_names));
+    let planex = FrozenPlane::freeze(Arc::clone(&g), exstretch, Arc::clone(&frozen_names));
+    let planep = FrozenPlane::freeze(Arc::clone(&g), poly, Arc::clone(&frozen_names));
+
+    let mut config = EngineConfig::with_workers(workers);
+    config.stretch_sample_stride = (queries / samples).max(1);
+    let engine = Engine::new(config);
+
+    banner("serving");
+    serve_all(&plane6, &engine, &oracle, queries, seed ^ 0x6001);
+    serve_all(&planex, &engine, &oracle, queries, seed ^ 0x6002);
+    serve_all(&planep, &engine, &oracle, queries, seed ^ 0x6003);
+
+    let stats = oracle.stats();
+    banner("oracle");
+    println!(
+        "rows computed {}, cache hits {}, peak resident rows {} ({:.1}% of n²)",
+        stats.rows_computed,
+        stats.cache_hits,
+        stats.peak_resident_rows,
+        100.0 * stats.peak_resident_rows as f64 / n as f64
+    );
+    println!("total wall-clock: {:.1?}", t0.elapsed());
+}

@@ -61,4 +61,4 @@ mod suite;
 pub use exstretch::{ExStretch, ExStretchParams};
 pub use polystretch::{PolyParams, PolynomialStretch};
 pub use stretch6::{Stretch6Params, StretchSix};
-pub use suite::{SchemeSuite, SuiteParams};
+pub use suite::{SchemeSuite, SparseSchemeSuite, SparseSuiteParams, SuiteParams};

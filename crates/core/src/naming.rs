@@ -76,6 +76,12 @@ impl NamingAssignment {
         self.name_of[v.index()]
     }
 
+    /// The full node-indexed name vector (`result[v.index()] = name_of(v)`),
+    /// the form the serving plane (`rtr_engine::FrozenPlane`) snapshots.
+    pub fn to_names(&self) -> Vec<NodeName> {
+        self.name_of.clone()
+    }
+
     /// The node carrying `name`.
     pub fn node_of(&self, name: NodeName) -> NodeId {
         self.node_of[name.index()]

@@ -27,6 +27,7 @@ use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};
 use rtr_trees::{TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Parameters of the polynomial-tradeoff scheme.
 #[derive(Debug, Clone, Copy)]
@@ -184,39 +185,61 @@ impl PolynomialStretch {
             })
             .collect();
 
-        let mut max_label_bits = 0usize;
+        // Pass 1 — per-tree prefix groups (pure name-digit bookkeeping, no
+        // oracle): prefix_groups[j] maps a (j+1)-digit prefix to the member
+        // list sharing it, so the nearest matching member per (node, j, τ)
+        // can be found in one scan below.
+        struct TreeCtx<'c> {
+            id: TreeId,
+            router: &'c TreeRouter,
+            tree: &'c rtr_trees::DoubleTree,
+            prefix_groups: Vec<HashMap<Vec<u32>, Vec<NodeId>>>,
+        }
+        let mut contexts: Vec<TreeCtx<'_>> = Vec::new();
         let mut max_trees_per_level = 0usize;
         for (li, level) in cover.levels().iter().enumerate() {
             max_trees_per_level = max_trees_per_level.max(level.trees.len());
             for (ti, tree) in level.trees.iter().enumerate() {
                 let id = TreeId { level: li as u16, index: ti as u32 };
-                let router: &TreeRouter = &level.routers[ti];
-                let members = tree.members();
-
-                // Group members by their name's digit prefixes so the nearest
-                // matching member per (node, j, τ) can be found in one pass.
-                // prefix_groups[j] maps a (j+1)-digit prefix to the member
-                // list sharing it.
                 let mut prefix_groups: Vec<HashMap<Vec<u32>, Vec<NodeId>>> =
                     vec![HashMap::new(); k as usize];
-                for &v in members {
+                for &v in tree.members() {
                     let digits = space.digits(names.name_of(v));
                     for j in 0..k as usize {
                         prefix_groups[j].entry(digits[..=j].to_vec()).or_default().push(v);
                     }
                 }
+                contexts.push(TreeCtx { id, router: &level.routers[ti], tree, prefix_groups });
+            }
+        }
+        let mut tree_memberships: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (ci, ctx) in contexts.iter().enumerate() {
+            for &v in ctx.tree.members() {
+                tree_memberships[v.index()].push(ci);
+            }
+        }
 
-                for &u in members {
-                    let out_table =
-                        *router.table(u).expect("tree members are spanned by the out component");
-                    let own_label = router.label(u).expect("member has a tree address").clone();
+        // Pass 2 — per-node records. Looping nodes on the outside means one
+        // roundtrip row per *node* serves the group comparisons of every tree
+        // the node belongs to (a lazy oracle pays `O(n)` Dijkstra pairs
+        // instead of `O(total memberships)`), and per-node output ownership
+        // lets the assembly fan out over worker blocks.
+        let worst_label_bits = AtomicUsize::new(0);
+        rtr_graph::par::par_blocks_mut(&mut tables, |start, block| {
+            let mut max_label_bits = 0usize;
+            for (offset, table) in block.iter_mut().enumerate() {
+                let u = NodeId::from_index(start + offset);
+                let own_digits = space.digits(names.name_of(u));
+                let rt_row = m.roundtrip_row(u);
+                for &ci in &tree_memberships[u.index()] {
+                    let ctx = &contexts[ci];
+                    let out_table = *ctx
+                        .router
+                        .table(u)
+                        .expect("tree members are spanned by the out component");
+                    let own_label = ctx.router.label(u).expect("member has a tree address").clone();
                     max_label_bits = max_label_bits.max(own_label.bits(n));
-                    let up_port = tree.in_tree().next_port(u);
-                    let own_digits = space.digits(names.name_of(u));
-                    // One roundtrip row of `u` serves every group comparison
-                    // below (oracle-friendly: two Dijkstras per member on a
-                    // lazy oracle instead of O(k·q·|group|) point queries).
-                    let rt_row = m.roundtrip_row(u);
+                    let up_port = ctx.tree.in_tree().next_port(u);
 
                     let mut prefix: HashMap<(u32, u32), TreeLabel> = HashMap::new();
                     let mut exact: HashMap<NodeName, TreeLabel> = HashMap::new();
@@ -224,7 +247,7 @@ impl PolynomialStretch {
                         for tau in 0..space.q() {
                             let mut key = own_digits[..j as usize].to_vec();
                             key.push(tau);
-                            let Some(group) = prefix_groups[j as usize].get(&key) else {
+                            let Some(group) = ctx.prefix_groups[j as usize].get(&key) else {
                                 continue;
                             };
                             // Nearest member of the group by roundtrip distance.
@@ -233,7 +256,8 @@ impl PolynomialStretch {
                                 .copied()
                                 .min_by_key(|&v| (rt_row[v.index()], v.0))
                                 .expect("groups are non-empty");
-                            let label = router.label(best).expect("member has an address").clone();
+                            let label =
+                                ctx.router.label(best).expect("member has an address").clone();
                             if j + 1 == k {
                                 // Full name matched: record under the exact name.
                                 exact.insert(names.name_of(best), label);
@@ -243,12 +267,15 @@ impl PolynomialStretch {
                         }
                     }
 
-                    tables[u.index()]
-                        .trees
-                        .insert(id, TreeRecord { out_table, up_port, own_label, prefix, exact });
+                    table.trees.insert(
+                        ctx.id,
+                        TreeRecord { out_table, up_port, own_label, prefix, exact },
+                    );
                 }
             }
-        }
+            worst_label_bits.fetch_max(max_label_bits, Ordering::Relaxed);
+        });
+        let max_label_bits = worst_label_bits.into_inner();
 
         let tree_id_bits = TreeId::bits(cover.level_count(), max_trees_per_level.max(1));
         PolynomialStretch {

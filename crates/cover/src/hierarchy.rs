@@ -1,6 +1,7 @@
 //! The hierarchical double-tree cover of Theorem 13 (one cover per scale).
 
-use crate::partial::{cover_balls, BallCover};
+use crate::nodeset::NodeSet;
+use crate::partial::{cover_from_balls, BallCover};
 use rtr_graph::{DiGraph, Distance, NodeId};
 use rtr_metric::DistanceOracle;
 use rtr_trees::{DoubleTree, TreeRouter};
@@ -41,8 +42,8 @@ pub struct LevelCover {
 }
 
 impl LevelCover {
-    fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, k: u32, scale: Distance) -> Self {
-        let cover = cover_balls(m, k, scale);
+    fn from_balls(g: &DiGraph, balls: Vec<NodeSet>, k: u32, scale: Distance) -> Self {
+        let cover = cover_from_balls(balls, k, scale);
         let (trees, routers) = Self::build_trees(g, &cover);
         LevelCover { scale, cover, trees, routers }
     }
@@ -122,15 +123,54 @@ impl DoubleTreeCover {
         assert!(k >= 2, "DoubleTreeCover requires k >= 2");
         assert!(m.is_strongly_connected(), "DoubleTreeCover requires a strongly connected graph");
         let diam = m.roundtrip_diameter_bound().max(1);
-        let mut levels = Vec::new();
-        let mut scale: Distance = 2;
-        loop {
-            levels.push(LevelCover::build(g, m, k, scale));
-            if scale >= diam {
-                break;
-            }
-            scale = scale.saturating_mul(2);
+        let mut scales: Vec<Distance> = vec![2];
+        while *scales.last().expect("nonempty") < diam {
+            scales.push(scales.last().expect("nonempty").saturating_mul(2));
         }
+
+        // Every scale's ball of a node is a prefix of the same roundtrip row,
+        // so one parallel row sweep collects the balls of *all* levels at
+        // once: `O(n)` Dijkstra pairs on a lazy oracle instead of
+        // `O(levels · n)`. Workers own disjoint node blocks; the result is
+        // bit-identical to per-level collection. (The price is
+        // `levels · n²` transient ball bits instead of `n²` — fine at the
+        // current n = 10⁴ target, an open ROADMAP item for n = 10⁵.)
+        let n = g.node_count();
+        let mut by_node: Vec<Option<Vec<NodeSet>>> = (0..n).map(|_| None).collect();
+        rtr_graph::par::par_blocks_mut(&mut by_node, |start, block| {
+            for (offset, slot) in block.iter_mut().enumerate() {
+                let v = NodeId::from_index(start + offset);
+                let row = m.roundtrip_row(v);
+                *slot = Some(
+                    scales
+                        .iter()
+                        .map(|&d| {
+                            NodeSet::from_nodes(
+                                n,
+                                row.iter()
+                                    .enumerate()
+                                    .filter(|&(_, &r)| r <= d)
+                                    .map(|(w, _)| NodeId::from_index(w)),
+                            )
+                        })
+                        .collect(),
+                );
+            }
+        });
+        // Transpose node-major → level-major (moves only).
+        let mut by_level: Vec<Vec<NodeSet>> =
+            scales.iter().map(|_| Vec::with_capacity(n)).collect();
+        for balls in by_node {
+            for (li, ball) in balls.expect("every node was swept").into_iter().enumerate() {
+                by_level[li].push(ball);
+            }
+        }
+
+        let levels = scales
+            .iter()
+            .zip(by_level)
+            .map(|(&scale, balls)| LevelCover::from_balls(g, balls, k, scale))
+            .collect();
         DoubleTreeCover { k, levels }
     }
 

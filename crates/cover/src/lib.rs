@@ -30,5 +30,5 @@ mod stats;
 
 pub use hierarchy::{DoubleTreeCover, LevelCover, TreeId};
 pub use nodeset::NodeSet;
-pub use partial::{cover_balls, partial_cover, BallCover, PartialCoverOutput};
+pub use partial::{cover_balls, cover_from_balls, partial_cover, BallCover, PartialCoverOutput};
 pub use stats::CoverStats;

@@ -163,13 +163,42 @@ pub fn cover_balls<O: DistanceOracle + ?Sized>(m: &O, k: u32, d: Distance) -> Ba
     assert!(m.is_strongly_connected(), "Cover requires a strongly connected graph");
     let n = m.node_count();
 
-    // R ← {N̂ᵈ(v) | v ∈ V}, remembering each ball's owner.
-    let mut alive: Vec<(NodeId, NodeSet)> = (0..n)
-        .map(|i| {
-            let v = NodeId::from_index(i);
-            (v, roundtrip_ball(m, v, d))
-        })
-        .collect();
+    // R ← {N̂ᵈ(v) | v ∈ V}. Each ball costs one roundtrip row — the dominant
+    // cost on a lazy oracle — so the collection fans out over worker threads
+    // owning disjoint node blocks (deterministic: every ball depends only on
+    // its own row, and caching oracles are internally synchronised).
+    let mut slots: Vec<Option<NodeSet>> = (0..n).map(|_| None).collect();
+    rtr_graph::par::par_blocks_mut(&mut slots, |start, block| {
+        for (offset, slot) in block.iter_mut().enumerate() {
+            let v = NodeId::from_index(start + offset);
+            *slot = Some(roundtrip_ball(m, v, d));
+        }
+    });
+    let balls = slots.into_iter().map(|s| s.expect("every ball was collected")).collect();
+    cover_from_balls(balls, k, d)
+}
+
+/// *Cover* from precomputed balls: `balls[i]` must be the roundtrip ball
+/// `N̂ᵈ(vᵢ)` of node `i` at radius `d`.
+///
+/// This is the entry point `DoubleTreeCover` uses to build **every level from
+/// one row sweep**: all scales' balls of a node derive from the same
+/// roundtrip row, so fetching the row once and slicing it per scale replaces
+/// one sweep per level — the difference between `O(levels · n)` and `O(n)`
+/// Dijkstra pairs on a lazy oracle.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or some ball does not contain its own node (which a
+/// strongly connected roundtrip metric guarantees).
+pub fn cover_from_balls(balls: Vec<NodeSet>, k: u32, d: Distance) -> BallCover {
+    assert!(k >= 2, "Cover requires k >= 2");
+    let n = balls.len();
+    let mut alive: Vec<(NodeId, NodeSet)> =
+        balls.into_iter().enumerate().map(|(i, b)| (NodeId::from_index(i), b)).collect();
+    for (v, b) in &alive {
+        assert!(b.contains(*v), "ball of {v} does not contain its owner");
+    }
 
     let mut clusters: Vec<Vec<NodeId>> = Vec::new();
     let mut seeds: Vec<NodeId> = Vec::new();

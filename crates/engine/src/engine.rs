@@ -1,0 +1,263 @@
+//! The worker pool: fans a request stream over threads serving one
+//! [`FrozenPlane`].
+
+use crate::plane::FrozenPlane;
+use crate::stats::{ServeSummary, WorkerStats};
+use crate::workload::Request;
+use rtr_sim::{RoundtripReport, RoundtripRouting, SimError, Simulator};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads (default: available parallelism).
+    pub workers: usize,
+    /// Requests handed to a worker per grab.  Batching amortises the single
+    /// shared atomic the scheduler uses; the default of 256 makes that
+    /// counter touched once per ~256 queries.
+    pub chunk_size: usize,
+    /// Stride of the stretch sample: request `i` is sampled iff
+    /// `i % stretch_sample_stride == 0`.  Strided by *global* request index,
+    /// so the sample set is identical for any worker count.
+    pub stretch_sample_stride: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            chunk_size: 256,
+            stretch_sample_stride: 16,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig { workers, ..Default::default() }
+    }
+}
+
+/// The concurrent route-serving engine.
+///
+/// Scheduling is batched work stealing: a single shared atomic counter hands
+/// out chunks of the request slice; whichever worker finishes its chunk first
+/// grabs the next, so skewed workloads (one hot destination making some
+/// requests slower than others) cannot strand a worker idle.  All statistics
+/// accumulate in per-worker buffers merged after the join — the serving loop
+/// itself performs no synchronised writes beyond the chunk counter.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Serves every request against the plane, returning aggregate
+    /// throughput/latency accounting.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any worker encounters (remaining workers stop
+    /// at their next chunk boundary).  Correct schemes never fail.
+    pub fn serve<S: RoundtripRouting + Send + Sync>(
+        &self,
+        plane: &FrozenPlane<S>,
+        requests: &[Request],
+    ) -> Result<ServeSummary, SimError> {
+        let workers = self.config.workers.max(1);
+        let stride = self.config.stretch_sample_stride.max(1);
+        let started = Instant::now();
+        let per_worker = self.run_pool(
+            plane,
+            requests,
+            WorkerStats::new,
+            |sim, plane, index, req, stats: &mut WorkerStats| {
+                let brief =
+                    sim.roundtrip_brief(plane.scheme(), req.src, req.dst, plane.name_of(req.dst))?;
+                stats.record(&brief, index % stride == 0);
+                Ok(())
+            },
+        )?;
+        let mut merged = WorkerStats::new();
+        for stats in per_worker {
+            merged.merge(stats);
+        }
+        Ok(ServeSummary::from_stats(merged, workers, started.elapsed()))
+    }
+
+    /// Runs every request and returns the full [`RoundtripReport`]s **in
+    /// request order**, exactly as a sequential
+    /// [`rtr_sim::Simulator::roundtrip`] loop would produce them.
+    ///
+    /// This is the reference mode the determinism property tests compare
+    /// against the sequential simulator; serving-path callers should prefer
+    /// [`serve`](Self::serve), which does not allocate per-request traces.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimError`] any worker encounters.
+    pub fn collect<S: RoundtripRouting + Send + Sync>(
+        &self,
+        plane: &FrozenPlane<S>,
+        requests: &[Request],
+    ) -> Result<Vec<RoundtripReport>, SimError> {
+        let per_worker = self.run_pool(
+            plane,
+            requests,
+            Vec::new,
+            |sim, plane, index, req, out: &mut Vec<(usize, RoundtripReport)>| {
+                let report =
+                    sim.roundtrip(plane.scheme(), req.src, req.dst, plane.name_of(req.dst))?;
+                out.push((index, report));
+                Ok(())
+            },
+        )?;
+        let mut indexed: Vec<(usize, RoundtripReport)> = per_worker.into_iter().flatten().collect();
+        indexed.sort_by_key(|&(i, _)| i);
+        Ok(indexed.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// The single work-stealing pool behind [`serve`](Self::serve) and
+    /// [`collect`](Self::collect): a shared atomic chunk counter hands out
+    /// request batches, `handle` processes one request into the worker's
+    /// private accumulator (created by `init`), a failing worker trips the
+    /// abort flag so the others stop at their next chunk boundary, and the
+    /// per-worker accumulators are returned after the join (worker order).
+    /// Worker panics propagate with their original payload.
+    fn run_pool<S, A>(
+        &self,
+        plane: &FrozenPlane<S>,
+        requests: &[Request],
+        init: impl Fn() -> A + Sync,
+        handle: impl Fn(&Simulator<'_>, &FrozenPlane<S>, usize, &Request, &mut A) -> Result<(), SimError>
+            + Sync,
+    ) -> Result<Vec<A>, SimError>
+    where
+        S: RoundtripRouting + Send + Sync,
+        A: Send,
+    {
+        let workers = self.config.workers.max(1);
+        let chunk = self.config.chunk_size.max(1);
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let result = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, failed, init, handle) = (&next, &failed, &init, &handle);
+                    scope.spawn(move |_| -> Result<A, SimError> {
+                        let sim = plane.simulator();
+                        let mut acc = init();
+                        while !failed.load(Ordering::Relaxed) {
+                            let lo = next.fetch_add(chunk, Ordering::Relaxed);
+                            if lo >= requests.len() {
+                                break;
+                            }
+                            let hi = (lo + chunk).min(requests.len());
+                            for (i, req) in requests[lo..hi].iter().enumerate() {
+                                if let Err(e) = handle(&sim, plane, lo + i, req, &mut acc) {
+                                    failed.store(true, Ordering::Relaxed);
+                                    return Err(e);
+                                }
+                            }
+                        }
+                        Ok(acc)
+                    })
+                })
+                .collect();
+            let mut accs = Vec::with_capacity(workers);
+            let mut first_err = None;
+            for h in handles {
+                match h.join().expect("engine worker panicked") {
+                    Ok(acc) => accs.push(acc),
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
+            }
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(accs),
+            }
+        });
+        match result {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::tests::ring_plane;
+    use crate::workload::Workload;
+
+    #[test]
+    fn serve_counts_every_request_for_any_worker_count() {
+        let plane = ring_plane(12);
+        let requests = Workload::Uniform.generate(12, 1000, 3);
+        let mut summaries = Vec::new();
+        for workers in [1usize, 2, 5, 16] {
+            let engine = Engine::new(EngineConfig::with_workers(workers));
+            let summary = engine.serve(&plane, &requests).unwrap();
+            assert_eq!(summary.queries, 1000);
+            assert_eq!(summary.workers, workers);
+            summaries.push(summary);
+        }
+        // Aggregates are schedule-independent.
+        for s in &summaries[1..] {
+            assert_eq!(s.total_hops, summaries[0].total_hops);
+            assert_eq!(s.total_weight, summaries[0].total_weight);
+            assert_eq!(s.max_header_bits, summaries[0].max_header_bits);
+            assert_eq!(s.hop_latency(), summaries[0].hop_latency());
+            assert_eq!(s.samples(), summaries[0].samples());
+        }
+    }
+
+    #[test]
+    fn collect_returns_reports_in_request_order() {
+        let plane = ring_plane(9);
+        let requests = Workload::Mix.generate(9, 500, 7);
+        let sequential: Vec<_> = {
+            let sim = plane.simulator();
+            requests
+                .iter()
+                .map(|r| sim.roundtrip(plane.scheme(), r.src, r.dst, plane.name_of(r.dst)).unwrap())
+                .collect()
+        };
+        for workers in [1usize, 3, 8] {
+            let engine = Engine::new(EngineConfig::with_workers(workers));
+            let collected = engine.collect(&plane, &requests).unwrap();
+            assert_eq!(collected, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn empty_request_stream_is_fine() {
+        let plane = ring_plane(4);
+        let engine = Engine::default();
+        let summary = engine.serve(&plane, &[]).unwrap();
+        assert_eq!(summary.queries, 0);
+        assert!(engine.collect(&plane, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tiny_chunks_and_excess_workers_still_cover_everything() {
+        let plane = ring_plane(5);
+        let requests = Workload::Bidirectional.generate(5, 37, 1);
+        let config = EngineConfig { workers: 13, chunk_size: 1, stretch_sample_stride: 1 };
+        let summary = Engine::new(config).serve(&plane, &requests).unwrap();
+        assert_eq!(summary.queries, 37);
+        assert_eq!(summary.samples().len(), 37);
+    }
+}

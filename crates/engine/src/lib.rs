@@ -1,0 +1,68 @@
+//! # rtr-engine — the sharded, multi-threaded route-serving plane
+//!
+//! The paper's schemes are built once and then answer an unbounded stream of
+//! roundtrip requests.  The sequential [`rtr_sim::Simulator`] drives one
+//! packet at a time; this crate is the layer that turns a built scheme into a
+//! **serving plane** under concurrent, skewed, high-volume load:
+//!
+//! * [`FrozenPlane`] — a read-only snapshot of a built
+//!   [`rtr_sim::RoundtripRouting`] scheme, its graph and the TINN naming,
+//!   behind `Arc`s: shareable across worker threads (and clonable into
+//!   shards) without locks, because forwarding is `&self` end to end.
+//! * [`Workload`] — composable, seeded request generators: uniform pairs,
+//!   Zipf-skewed destinations, all-to-one hotspots, bidirectional shuffles
+//!   and a deterministic mix, all built on the in-tree `rand` shim so runs
+//!   reproduce bit for bit.
+//! * [`Engine`] — a scoped worker pool with batched work stealing over
+//!   request chunks.  Workers serve through the allocation-free
+//!   [`rtr_sim::Simulator::roundtrip_brief`] path and accumulate statistics
+//!   privately; the only shared atomic on the hot path is the chunk counter.
+//! * [`ServeSummary`] — throughput (queries/sec), p50/p95/p99 hop-latency
+//!   from an exact histogram, and an exact stretch distribution over a
+//!   strided sample, answered destination-row-by-destination-row so lazy
+//!   oracles stay cheap.
+//!
+//! The engine is **observationally identical** to the sequential simulator:
+//! [`Engine::collect`] returns the very [`rtr_sim::RoundtripReport`]s a
+//! sequential loop produces, in request order, for any worker count — a
+//! property the test-suite enforces per scheme and workload.
+//!
+//! ```
+//! use rtr_engine::{Engine, EngineConfig, FrozenPlane, Workload};
+//! use rtr_core::naming::NamingAssignment;
+//! use rtr_core::{Stretch6Params, StretchSix};
+//! use rtr_graph::generators::strongly_connected_gnp;
+//! use rtr_metric::DistanceMatrix;
+//! use rtr_namedep::ExactOracleScheme;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = Arc::new(strongly_connected_gnp(48, 0.1, 7)?);
+//! let m = DistanceMatrix::build(&g);
+//! let names = NamingAssignment::random(g.node_count(), 1);
+//! let scheme =
+//!     StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+//! let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
+//!
+//! let requests = Workload::Zipf { exponent: 1.2 }.generate(g.node_count(), 4_000, 9);
+//! let summary = Engine::new(EngineConfig::with_workers(4)).serve(&plane, &requests)?;
+//! assert_eq!(summary.queries, 4_000);
+//! let stretch = summary.stretch_summary(&m).expect("samples were collected");
+//! assert!(stretch.max <= 6.0 + 1e-9); // the §2 scheme's hard bound
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod engine;
+mod plane;
+mod stats;
+mod workload;
+
+pub use engine::{Engine, EngineConfig};
+pub use plane::FrozenPlane;
+pub use stats::{ServeSummary, StretchSample, StretchSummary};
+pub use workload::{Request, Workload};

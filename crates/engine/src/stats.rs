@@ -1,0 +1,327 @@
+//! Latency and stretch accounting for engine runs.
+//!
+//! Workers accumulate into private [`WorkerStats`] (fixed-size hop histogram,
+//! scalar counters, a strided stretch sample) and the engine merges them
+//! after the pool joins — the hot path touches no shared atomics.
+
+use rtr_graph::{Distance, NodeId, INFINITY};
+use rtr_metric::DistanceOracle;
+use rtr_sim::BriefRoundtrip;
+use std::time::Duration;
+
+/// Number of exact buckets in the hop histogram; roundtrips longer than this
+/// land in the overflow bucket (index `HOP_BUCKETS`).
+const HOP_BUCKETS: usize = 1024;
+
+/// One strided stretch sample: enough of a request's outcome to compute its
+/// exact stretch later against a distance oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StretchSample {
+    /// Source of the sampled request.
+    pub source: NodeId,
+    /// Destination of the sampled request.
+    pub destination: NodeId,
+    /// Measured roundtrip weight.
+    pub weight: Distance,
+}
+
+/// Per-worker accumulator; merged into a [`ServeSummary`] after the join.
+#[derive(Debug)]
+pub(crate) struct WorkerStats {
+    pub queries: usize,
+    pub total_hops: u64,
+    pub total_weight: u128,
+    pub max_header_bits: usize,
+    /// `hop_histogram[h]`: roundtrips that took exactly `h` hops
+    /// (`hop_histogram[HOP_BUCKETS]` collects the overflow).
+    pub hop_histogram: Vec<u64>,
+    pub samples: Vec<StretchSample>,
+}
+
+impl WorkerStats {
+    pub(crate) fn new() -> Self {
+        WorkerStats {
+            queries: 0,
+            total_hops: 0,
+            total_weight: 0,
+            max_header_bits: 0,
+            hop_histogram: vec![0; HOP_BUCKETS + 1],
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one served roundtrip; `sampled` marks the strided stretch
+    /// sample (decided by global request index, so the sample set does not
+    /// depend on worker count or scheduling).
+    pub(crate) fn record(&mut self, brief: &BriefRoundtrip, sampled: bool) {
+        let hops = brief.total_hops();
+        self.queries += 1;
+        self.total_hops += hops as u64;
+        self.total_weight += u128::from(brief.total_weight());
+        self.max_header_bits = self.max_header_bits.max(brief.max_header_bits());
+        self.hop_histogram[hops.min(HOP_BUCKETS)] += 1;
+        if sampled {
+            self.samples.push(StretchSample {
+                source: brief.source,
+                destination: brief.destination,
+                weight: brief.total_weight(),
+            });
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: WorkerStats) {
+        self.queries += other.queries;
+        self.total_hops += other.total_hops;
+        self.total_weight += other.total_weight;
+        self.max_header_bits = self.max_header_bits.max(other.max_header_bits);
+        for (a, b) in self.hop_histogram.iter_mut().zip(&other.hop_histogram) {
+            *a += b;
+        }
+        self.samples.extend(other.samples);
+    }
+}
+
+/// The aggregate outcome of one [`crate::Engine::serve`] run.
+#[derive(Debug, Clone)]
+pub struct ServeSummary {
+    /// Requests served.
+    pub queries: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock of the serving phase (excludes workload generation and
+    /// stretch post-processing).
+    pub elapsed: Duration,
+    /// Total hops over all roundtrips.
+    pub total_hops: u64,
+    /// Total traversed weight over all roundtrips.
+    pub total_weight: u128,
+    /// Largest header observed across all requests, in bits.
+    pub max_header_bits: usize,
+    hop_histogram: Vec<u64>,
+    samples: Vec<StretchSample>,
+}
+
+impl ServeSummary {
+    pub(crate) fn from_stats(stats: WorkerStats, workers: usize, elapsed: Duration) -> Self {
+        let mut samples = stats.samples;
+        // Workers finish in arbitrary order; sort for reproducible output.
+        samples.sort_by_key(|s| (s.destination, s.source, s.weight));
+        ServeSummary {
+            queries: stats.queries,
+            workers,
+            elapsed,
+            total_hops: stats.total_hops,
+            total_weight: stats.total_weight,
+            max_header_bits: stats.max_header_bits,
+            hop_histogram: stats.hop_histogram,
+            samples,
+        }
+    }
+
+    /// Serving throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.queries as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean hops per roundtrip.
+    pub fn avg_hops(&self) -> f64 {
+        self.total_hops as f64 / self.queries.max(1) as f64
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`) of the roundtrip hop count, read from
+    /// the exact histogram (the overflow bucket reports as its lower edge).
+    pub fn hop_percentile(&self, p: f64) -> usize {
+        if self.queries == 0 {
+            return 0;
+        }
+        let rank = ((self.queries as f64 - 1.0) * p).round() as u64;
+        let mut seen = 0u64;
+        for (hops, &count) in self.hop_histogram.iter().enumerate() {
+            seen += count;
+            if seen > rank {
+                return hops;
+            }
+        }
+        HOP_BUCKETS
+    }
+
+    /// `(p50, p95, p99)` roundtrip hop latency.
+    pub fn hop_latency(&self) -> (usize, usize, usize) {
+        (self.hop_percentile(0.50), self.hop_percentile(0.95), self.hop_percentile(0.99))
+    }
+
+    /// The strided stretch samples collected during the run.
+    pub fn samples(&self) -> &[StretchSample] {
+        &self.samples
+    }
+
+    /// Exact stretch distribution of the strided sample, computed against
+    /// `m`.
+    ///
+    /// Samples are grouped by destination and each group is answered from the
+    /// destination's roundtrip row (`r(s, t) = r(t, s)`), so a lazy oracle
+    /// pays two Dijkstras per *distinct sampled destination* — cheap under
+    /// skewed workloads — instead of two per sample.  Returns `None` when no
+    /// samples were collected.
+    pub fn stretch_summary<O: DistanceOracle + ?Sized>(&self, m: &O) -> Option<StretchSummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut stretches = Vec::with_capacity(self.samples.len());
+        let mut row: Vec<Distance> = Vec::new();
+        let mut row_dst: Option<NodeId> = None;
+        // `samples` is sorted by destination, so consecutive samples share
+        // the row.
+        for s in &self.samples {
+            if row_dst != Some(s.destination) {
+                row = m.roundtrip_row(s.destination);
+                row_dst = Some(s.destination);
+            }
+            let r = row[s.source.index()];
+            assert!(r > 0 && r != INFINITY, "sampled pair unreachable");
+            stretches.push(s.weight as f64 / r as f64);
+        }
+        stretches.sort_by(|a, b| a.partial_cmp(b).expect("stretch is never NaN"));
+        let percentile = |p: f64| -> f64 {
+            let idx = ((stretches.len() as f64 - 1.0) * p).round() as usize;
+            stretches[idx]
+        };
+        Some(StretchSummary {
+            samples: stretches.len(),
+            avg: stretches.iter().sum::<f64>() / stretches.len() as f64,
+            p50: percentile(0.50),
+            p95: percentile(0.95),
+            p99: percentile(0.99),
+            max: *stretches.last().expect("nonempty"),
+        })
+    }
+}
+
+/// Stretch distribution of a [`ServeSummary`]'s strided sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchSummary {
+    /// Number of sampled requests.
+    pub samples: usize,
+    /// Mean stretch.
+    pub avg: f64,
+    /// Median stretch.
+    pub p50: f64,
+    /// 95th-percentile stretch.
+    pub p95: f64,
+    /// 99th-percentile stretch.
+    pub p99: f64,
+    /// Worst sampled stretch.
+    pub max: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_sim::BriefTrace;
+
+    fn brief(s: u32, t: u32, hops: usize, weight: Distance) -> BriefRoundtrip {
+        let leg = |h, w, at| BriefTrace {
+            hops: h,
+            weight: w,
+            max_header_bits: 64,
+            delivered_at: NodeId(at),
+        };
+        BriefRoundtrip {
+            source: NodeId(s),
+            destination: NodeId(t),
+            outbound: leg(hops / 2, weight / 2, t),
+            inbound: leg(hops - hops / 2, weight - weight / 2, s),
+        }
+    }
+
+    #[test]
+    fn record_and_merge_accumulate() {
+        let mut a = WorkerStats::new();
+        let mut b = WorkerStats::new();
+        a.record(&brief(0, 1, 4, 10), true);
+        b.record(&brief(1, 2, 6, 14), false);
+        a.merge(b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.total_hops, 10);
+        assert_eq!(a.total_weight, 24);
+        assert_eq!(a.samples.len(), 1);
+        assert_eq!(a.hop_histogram[4], 1);
+        assert_eq!(a.hop_histogram[6], 1);
+    }
+
+    #[test]
+    fn hop_percentiles_walk_the_histogram() {
+        let mut w = WorkerStats::new();
+        for _ in 0..90 {
+            w.record(&brief(0, 1, 2, 4), false);
+        }
+        for _ in 0..10 {
+            w.record(&brief(0, 1, 40, 80), false);
+        }
+        let s = ServeSummary::from_stats(w, 1, Duration::from_secs(1));
+        assert_eq!(s.hop_percentile(0.5), 2);
+        assert_eq!(s.hop_percentile(0.99), 40);
+        assert_eq!(s.hop_latency(), (2, 40, 40));
+        assert!((s.queries_per_sec() - 100.0).abs() < 1e-9);
+        assert!((s.avg_hops() - 5.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_clamps() {
+        let mut w = WorkerStats::new();
+        w.record(&brief(0, 1, 5000, 5000), false);
+        let s = ServeSummary::from_stats(w, 1, Duration::from_millis(1));
+        assert_eq!(s.hop_percentile(1.0), HOP_BUCKETS);
+    }
+
+    #[test]
+    fn empty_summary_is_well_defined() {
+        let s = ServeSummary::from_stats(WorkerStats::new(), 4, Duration::ZERO);
+        assert_eq!(s.queries_per_sec(), 0.0);
+        assert_eq!(s.hop_percentile(0.99), 0);
+        assert!(s.stretch_summary(&NoOracle).is_none());
+    }
+
+    /// Oracle stub for the empty-summary test (never queried).
+    #[derive(Debug)]
+    struct NoOracle;
+    impl DistanceOracle for NoOracle {
+        fn node_count(&self) -> usize {
+            0
+        }
+        fn distance(&self, _: NodeId, _: NodeId) -> Distance {
+            unreachable!()
+        }
+        fn row(&self, _: NodeId) -> Vec<Distance> {
+            unreachable!()
+        }
+        fn rev_row(&self, _: NodeId) -> Vec<Distance> {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn stretch_summary_groups_by_destination() {
+        use rtr_graph::generators::directed_ring;
+        use rtr_metric::DistanceMatrix;
+        let g = directed_ring(6, 1).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let mut w = WorkerStats::new();
+        for s in 1..4u32 {
+            let r = m.roundtrip(NodeId(s), NodeId(0));
+            w.record(&brief(s, 0, 6, r), true); // stretch exactly 1
+            w.record(&brief(s, 0, 6, 2 * r), true); // stretch exactly 2
+        }
+        let summary = ServeSummary::from_stats(w, 2, Duration::from_millis(5));
+        let st = summary.stretch_summary(&m).unwrap();
+        assert_eq!(st.samples, 6);
+        assert!((st.avg - 1.5).abs() < 1e-12);
+        assert!((st.max - 2.0).abs() < 1e-12);
+        assert!((st.p50 - 1.0).abs() < 1e-12 || (st.p50 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,279 @@
+//! Composable, seeded request generators for the serving plane.
+//!
+//! Every generator is **deterministic given its seed** (built on the in-tree
+//! SplitMix64 `rand` shim), so an engine run — and the property tests that
+//! compare the multi-threaded engine against the sequential simulator — can
+//! be reproduced bit for bit.  `n` is the node count of the target plane;
+//! all generated pairs satisfy `src ≠ dst`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rtr_graph::NodeId;
+
+/// One roundtrip request: route from `src` to the node carrying `dst`'s TINN
+/// name and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// The node injecting the packet.
+    pub src: NodeId,
+    /// The destination node (the engine addresses it only by its TINN name).
+    pub dst: NodeId,
+}
+
+/// The built-in request distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Source and destination uniform over all ordered pairs.
+    Uniform,
+    /// Destinations Zipf-distributed over a seeded rank permutation (rank 0
+    /// most popular), sources uniform — the skewed-popularity regime where
+    /// caching and sharding effects appear.
+    Zipf {
+        /// The Zipf exponent `s` (weight of rank `r` is `(r+1)^-s`); realistic
+        /// request skew sits around `0.9–1.3`.
+        exponent: f64,
+    },
+    /// All requests target one seeded hot node (all-to-one incast), sources
+    /// uniform.
+    Hotspot,
+    /// A shuffled pairing of all nodes where every emitted request is
+    /// immediately followed by its reverse — the bidirectional handshake
+    /// pattern that exercises both legs of the roundtrip machinery evenly.
+    Bidirectional,
+    /// A deterministic 4-way interleave of the other generators (uniform,
+    /// Zipf 1.2, hotspot, reverse-previous), approximating mixed tenant
+    /// traffic from a single seed.
+    Mix,
+}
+
+impl Workload {
+    /// Every built-in workload, in reporting order (Zipf at its default
+    /// exponent 1.2).
+    pub const ALL: [Workload; 5] = [
+        Workload::Uniform,
+        Workload::Zipf { exponent: 1.2 },
+        Workload::Hotspot,
+        Workload::Bidirectional,
+        Workload::Mix,
+    ];
+
+    /// Short stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Zipf { .. } => "zipf",
+            Workload::Hotspot => "hotspot",
+            Workload::Bidirectional => "bidirectional",
+            Workload::Mix => "mix",
+        }
+    }
+
+    /// Generates exactly `count` requests over `n` nodes from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no valid ordered pair exists).
+    pub fn generate(self, n: usize, count: usize, seed: u64) -> Vec<Request> {
+        assert!(n >= 2, "workloads need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(count);
+        match self {
+            Workload::Uniform => {
+                while out.len() < count {
+                    out.push(uniform_pair(&mut rng, n));
+                }
+            }
+            Workload::Zipf { exponent } => {
+                let zipf = ZipfSampler::new(n, exponent, &mut rng);
+                while out.len() < count {
+                    let dst = zipf.sample(&mut rng);
+                    out.push(Request { src: uniform_excluding(&mut rng, n, dst), dst });
+                }
+            }
+            Workload::Hotspot => {
+                let dst = NodeId(rng.gen_range(0..n as u32));
+                while out.len() < count {
+                    out.push(Request { src: uniform_excluding(&mut rng, n, dst), dst });
+                }
+            }
+            Workload::Bidirectional => {
+                let mut perm: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+                loop {
+                    perm.shuffle(&mut rng);
+                    for pair in perm.chunks_exact(2) {
+                        if out.len() >= count {
+                            return out;
+                        }
+                        out.push(Request { src: pair[0], dst: pair[1] });
+                        if out.len() < count {
+                            out.push(Request { src: pair[1], dst: pair[0] });
+                        }
+                    }
+                    if out.len() >= count {
+                        return out;
+                    }
+                }
+            }
+            Workload::Mix => {
+                let zipf = ZipfSampler::new(n, 1.2, &mut rng);
+                let hot = NodeId(rng.gen_range(0..n as u32));
+                while out.len() < count {
+                    let req = match out.len() % 4 {
+                        0 => uniform_pair(&mut rng, n),
+                        1 => {
+                            let dst = zipf.sample(&mut rng);
+                            Request { src: uniform_excluding(&mut rng, n, dst), dst }
+                        }
+                        2 => Request { src: uniform_excluding(&mut rng, n, hot), dst: hot },
+                        _ => {
+                            let prev = out[out.len() - 1];
+                            Request { src: prev.dst, dst: prev.src }
+                        }
+                    };
+                    out.push(req);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A uniform ordered pair with distinct endpoints.
+fn uniform_pair(rng: &mut StdRng, n: usize) -> Request {
+    let src = NodeId(rng.gen_range(0..n as u32));
+    Request { src, dst: uniform_excluding(rng, n, src) }
+}
+
+/// A uniform node different from `excluded`.
+fn uniform_excluding(rng: &mut StdRng, n: usize, excluded: NodeId) -> NodeId {
+    let mut v = rng.gen_range(0..n as u32 - 1);
+    if v >= excluded.0 {
+        v += 1;
+    }
+    NodeId(v)
+}
+
+/// Inverse-CDF Zipf sampling over a seeded rank-to-node permutation.
+struct ZipfSampler {
+    /// `rank_to_node[r]`: the node holding popularity rank `r`.
+    rank_to_node: Vec<NodeId>,
+    /// Cumulative (unnormalised) weights of ranks `0..n`.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64, rng: &mut StdRng) -> Self {
+        let mut rank_to_node: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        rank_to_node.shuffle(rng);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 0..n {
+            total += ((r + 1) as f64).powf(-exponent);
+            cdf.push(total);
+        }
+        ZipfSampler { rank_to_node, cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> NodeId {
+        let total = *self.cdf.last().expect("n >= 2");
+        let x: f64 = rng.gen::<f64>() * total;
+        let rank = self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1);
+        self.rank_to_node[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_workload_is_deterministic_and_valid() {
+        for w in Workload::ALL {
+            let a = w.generate(37, 500, 9);
+            let b = w.generate(37, 500, 9);
+            assert_eq!(a, b, "{} not deterministic", w.name());
+            assert_eq!(a.len(), 500);
+            for r in &a {
+                assert!(r.src.index() < 37 && r.dst.index() < 37, "{} out of range", w.name());
+                assert_ne!(r.src, r.dst, "{} produced a self-pair", w.name());
+            }
+            let c = w.generate(37, 500, 10);
+            assert_ne!(a, c, "{} ignores its seed", w.name());
+        }
+    }
+
+    fn dst_frequencies(reqs: &[Request]) -> HashMap<NodeId, usize> {
+        let mut f = HashMap::new();
+        for r in reqs {
+            *f.entry(r.dst).or_insert(0) += 1;
+        }
+        f
+    }
+
+    #[test]
+    fn zipf_is_skewed_uniform_is_not() {
+        let n = 50;
+        let count = 5000;
+        let zipf = dst_frequencies(&Workload::Zipf { exponent: 1.2 }.generate(n, count, 3));
+        let uniform = dst_frequencies(&Workload::Uniform.generate(n, count, 3));
+        let hottest_zipf = *zipf.values().max().unwrap();
+        let hottest_uniform = *uniform.values().max().unwrap();
+        // Rank 0 carries ~22% of a Zipf(1.2) stream over 50 ranks; a uniform
+        // stream's hottest destination stays near count/n.
+        assert!(hottest_zipf > count / 10, "zipf hottest only {hottest_zipf}");
+        assert!(hottest_uniform < count / 10, "uniform too skewed: {hottest_uniform}");
+    }
+
+    #[test]
+    fn hotspot_is_all_to_one() {
+        let reqs = Workload::Hotspot.generate(20, 300, 5);
+        let f = dst_frequencies(&reqs);
+        assert_eq!(f.len(), 1);
+        assert_eq!(*f.values().next().unwrap(), 300);
+    }
+
+    #[test]
+    fn bidirectional_pairs_requests_with_their_reverses() {
+        let reqs = Workload::Bidirectional.generate(16, 400, 7);
+        for pair in reqs.chunks_exact(2) {
+            assert_eq!(pair[0].src, pair[1].dst);
+            assert_eq!(pair[0].dst, pair[1].src);
+        }
+    }
+
+    #[test]
+    fn bidirectional_handles_odd_counts_and_odd_n() {
+        let reqs = Workload::Bidirectional.generate(7, 101, 1);
+        assert_eq!(reqs.len(), 101);
+    }
+
+    #[test]
+    fn mix_interleaves_hotspot_and_reverses() {
+        let reqs = Workload::Mix.generate(30, 400, 11);
+        // Every index ≡ 2 (mod 4) targets the same hot node.
+        let hot = reqs[2].dst;
+        for (i, r) in reqs.iter().enumerate() {
+            match i % 4 {
+                2 => assert_eq!(r.dst, hot),
+                3 => {
+                    assert_eq!(r.src, reqs[i - 1].dst);
+                    assert_eq!(r.dst, reqs[i - 1].src);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_universe_still_works() {
+        for w in Workload::ALL {
+            let reqs = w.generate(2, 50, 2);
+            assert_eq!(reqs.len(), 50);
+            for r in reqs {
+                assert_ne!(r.src, r.dst);
+            }
+        }
+    }
+}

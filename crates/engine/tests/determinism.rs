@@ -1,0 +1,85 @@
+//! The engine's core contract: for every scheme and any seeded workload, the
+//! multi-threaded [`Engine`] produces **exactly** the same
+//! [`rtr_sim::RoundtripReport`]s as the sequential [`rtr_sim::Simulator`] —
+//! in request order, hence a fortiori as a multiset — for 1, 2 and 8 workers,
+//! and the serve-path aggregates are schedule-independent.
+
+use proptest::prelude::*;
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{SchemeSuite, SuiteParams};
+use rtr_engine::{Engine, EngineConfig, FrozenPlane, Workload};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_metric::DistanceMatrix;
+use rtr_sim::{RoundtripReport, RoundtripRouting, Simulator};
+use std::sync::Arc;
+
+/// Runs the request stream sequentially — the reference the engine must
+/// reproduce bit for bit.
+fn sequential_reference<S: RoundtripRouting>(
+    plane: &FrozenPlane<S>,
+    requests: &[rtr_engine::Request],
+) -> Vec<RoundtripReport> {
+    let sim = Simulator::new(plane.graph());
+    requests
+        .iter()
+        .map(|r| {
+            sim.roundtrip(plane.scheme(), r.src, r.dst, plane.name_of(r.dst))
+                .expect("sequential reference run failed")
+        })
+        .collect()
+}
+
+fn check_plane<S: RoundtripRouting + Send + Sync>(
+    plane: &FrozenPlane<S>,
+    requests: &[rtr_engine::Request],
+    label: &str,
+) {
+    let expected = sequential_reference(plane, requests);
+    let mut reference_summary = None;
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        let got = engine.collect(plane, requests).unwrap();
+        assert_eq!(got, expected, "{label}: engine({workers}) diverged from the simulator");
+
+        let summary = engine.serve(plane, requests).unwrap();
+        assert_eq!(summary.queries, requests.len(), "{label}");
+        let expected_hops: u64 = expected.iter().map(|r| r.total_hops() as u64).sum();
+        assert_eq!(summary.total_hops, expected_hops, "{label}: hop accounting diverged");
+        let expected_weight: u128 = expected.iter().map(|r| u128::from(r.total_weight())).sum();
+        assert_eq!(summary.total_weight, expected_weight, "{label}: weight accounting diverged");
+        match &reference_summary {
+            None => reference_summary = Some(summary),
+            Some(first) => {
+                assert_eq!(summary.hop_latency(), first.hop_latency(), "{label}");
+                assert_eq!(summary.samples(), first.samples(), "{label}");
+                assert_eq!(summary.max_header_bits, first.max_header_bits, "{label}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn engine_reproduces_the_sequential_simulator(seed in 0u64..1000) {
+        let n = 24 + (seed as usize % 8);
+        let g = Arc::new(strongly_connected_gnp(n, 0.12, seed).unwrap());
+        let m = DistanceMatrix::build(&g);
+        let names = NamingAssignment::random(n, seed ^ 0xabcd);
+        let suite = SchemeSuite::build(&g, &m, &names, SuiteParams::default());
+        let (stretch6, exstretch, poly) = suite.into_parts();
+        let frozen_names = Arc::new(names.to_names());
+
+        let plane6 = FrozenPlane::freeze(Arc::clone(&g), stretch6, Arc::clone(&frozen_names));
+        let planex = FrozenPlane::freeze(Arc::clone(&g), exstretch, Arc::clone(&frozen_names));
+        let planep = FrozenPlane::freeze(Arc::clone(&g), poly, Arc::clone(&frozen_names));
+
+        for workload in Workload::ALL {
+            let requests = workload.generate(n, 160, seed.wrapping_mul(31));
+            check_plane(&plane6, &requests, &format!("stretch6/{}", workload.name()));
+            check_plane(&planex, &requests, &format!("exstretch/{}", workload.name()));
+            check_plane(&planep, &requests, &format!("polystretch/{}", workload.name()));
+        }
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`sim`] — the distributed forwarding simulator (`rtr-sim`);
 //! * [`core`] — the paper's schemes: `StretchSix`, `ExStretch`,
 //!   `PolynomialStretch`, the lower-bound construction and the evaluation
-//!   harness (`rtr-core`).
+//!   harness (`rtr-core`);
+//! * [`engine`] — the concurrent route-serving plane: frozen scheme
+//!   snapshots, seeded workload generators, a work-stealing worker pool and
+//!   latency/stretch accounting (`rtr-engine`).
 //!
 //! ```
 //! use compact_roundtrip_routing::prelude::*;
@@ -55,6 +58,7 @@
 pub use rtr_core as core;
 pub use rtr_cover as cover;
 pub use rtr_dictionary as dictionary;
+pub use rtr_engine as engine;
 pub use rtr_graph as graph;
 pub use rtr_metric as metric;
 pub use rtr_namedep as namedep;
@@ -66,10 +70,13 @@ pub mod prelude {
     pub use rtr_core::analysis::{PairSelection, SchemeEvaluation};
     pub use rtr_core::naming::NamingAssignment;
     pub use rtr_core::{
-        ExStretch, ExStretchParams, PolyParams, PolynomialStretch, SchemeSuite, Stretch6Params,
-        StretchSix, SuiteParams,
+        ExStretch, ExStretchParams, PolyParams, PolynomialStretch, SchemeSuite, SparseSchemeSuite,
+        SparseSuiteParams, Stretch6Params, StretchSix, SuiteParams,
     };
     pub use rtr_dictionary::NodeName;
+    pub use rtr_engine::{
+        Engine, EngineConfig, FrozenPlane, Request, ServeSummary, StretchSummary, Workload,
+    };
     pub use rtr_graph::{generators, DiGraph, DiGraphBuilder, NodeId};
     pub use rtr_metric::{
         CachedSubsetOracle, DistanceMatrix, DistanceOracle, LazyDijkstraOracle, RoundtripOrder,

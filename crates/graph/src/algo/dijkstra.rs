@@ -98,8 +98,37 @@ pub fn dijkstra_filtered(
     source: NodeId,
     filter: Option<&dyn Fn(NodeId) -> bool>,
 ) -> ShortestPathTree {
+    dijkstra_forward_core(g, source, filter, None)
+}
+
+/// The single forward relaxation loop behind [`dijkstra`],
+/// [`dijkstra_filtered`] and [`dijkstra_to_targets`].  Keeping one
+/// implementation is what makes the bounded variant's "bit-identical on
+/// targets" guarantee structural: there is exactly one relaxation body and
+/// one equal-distance tie-break.
+fn dijkstra_forward_core(
+    g: &DiGraph,
+    source: NodeId,
+    filter: Option<&dyn Fn(NodeId) -> bool>,
+    targets: Option<&[NodeId]>,
+) -> ShortestPathTree {
     let n = g.node_count();
     assert!(source.index() < n, "source out of range");
+    // When a target set is given, count down distinct unsettled targets and
+    // stop the loop at zero.
+    let mut goal = targets.map(|ts| {
+        let mut is_target = vec![false; n];
+        let mut remaining = 0usize;
+        for &t in ts {
+            assert!(t.index() < n, "target out of range");
+            if !is_target[t.index()] {
+                is_target[t.index()] = true;
+                remaining += 1;
+            }
+        }
+        (is_target, remaining)
+    });
+
     let mut dist = vec![INFINITY; n];
     let mut parent: Vec<Option<NodeId>> = vec![None; n];
     let mut parent_port: Vec<Option<Port>> = vec![None; n];
@@ -109,7 +138,10 @@ pub fn dijkstra_filtered(
     dist[source.index()] = 0;
     heap.push(Reverse((0, source.0)));
 
-    while let Some(Reverse((d, u_raw))) = heap.pop() {
+    while goal.as_ref().is_none_or(|(_, remaining)| *remaining > 0) {
+        let Some(Reverse((d, u_raw))) = heap.pop() else {
+            break; // heap exhausted (or some targets unreachable)
+        };
         let u = NodeId(u_raw);
         if settled[u.index()] {
             continue;
@@ -118,6 +150,11 @@ pub fn dijkstra_filtered(
             continue;
         }
         settled[u.index()] = true;
+        if let Some((is_target, remaining)) = goal.as_mut() {
+            if is_target[u.index()] {
+                *remaining -= 1;
+            }
+        }
         for e in g.out_edges(u) {
             let v = e.to;
             if let Some(f) = filter {
@@ -150,6 +187,28 @@ pub fn dijkstra_filtered(
 /// Forward Dijkstra from `source` over the whole graph.
 pub fn dijkstra(g: &DiGraph, source: NodeId) -> ShortestPathTree {
     dijkstra_filtered(g, source, None)
+}
+
+/// Forward Dijkstra from `source` that terminates as soon as every node in
+/// `targets` is settled, instead of running to completion.
+///
+/// For the targets themselves the result — `dist`, `parent` and
+/// `parent_port` — is **bit-identical** to a full [`dijkstra`] run: a
+/// target's entries can only be rewritten (including the deterministic
+/// equal-distance tie-break) while relaxing edges out of a node with strictly
+/// smaller distance, and every such node is popped from the heap before the
+/// target is settled. Entries of non-target nodes may be tentative
+/// (unreached nodes stay at [`INFINITY`]); only read the targets.
+///
+/// This is the ball-port extraction fast path: a node's roundtrip ball holds
+/// at most `O(√n)` members, so stopping at the last member skips most of the
+/// graph on low-diameter instances.
+///
+/// # Panics
+///
+/// Panics if `source` or any target is out of range.
+pub fn dijkstra_to_targets(g: &DiGraph, source: NodeId, targets: &[NodeId]) -> ShortestPathTree {
+    dijkstra_forward_core(g, source, None, Some(targets))
 }
 
 /// Reverse (single-sink) Dijkstra: computes `d(v, sink)` for every `v`.
@@ -347,6 +406,53 @@ mod tests {
         assert_eq!(path_weight(&g, &[]), None);
         assert_eq!(path_weight(&g, &[NodeId(0), NodeId(0)]), None);
         assert_eq!(path_weight(&g, &[NodeId(0)]), Some(0));
+    }
+
+    #[test]
+    fn bounded_run_handles_unreachable_targets() {
+        let mut b = DiGraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(0), 1).unwrap();
+        let g = b.build().unwrap();
+        let t = dijkstra_to_targets(&g, NodeId(0), &[NodeId(1), NodeId(2)]);
+        assert_eq!(t.distance(NodeId(1)), 1);
+        assert!(!t.is_reachable(NodeId(2)));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(24))]
+
+        // Property behind the ball-port fast path: for any graph family,
+        // source and target set, the early-terminating run is bit-identical
+        // to the full run on every target (distances, parents, ports).
+        #[test]
+        fn bounded_dijkstra_matches_full_run_on_targets(
+            seed in 0u64..1000,
+            n in 8usize..40,
+            target_count in 1usize..12,
+        ) {
+            use crate::generators::Family;
+            let family = Family::ALL[(seed % Family::ALL.len() as u64) as usize];
+            let g = family.generate(n, seed).unwrap();
+            let n = g.node_count();
+            let source = NodeId::from_index(seed as usize % n);
+            // A deterministic pseudo-random target set (duplicates allowed on
+            // purpose: the bounded run must tolerate them).
+            let targets: Vec<NodeId> = (0..target_count)
+                .map(|i| NodeId::from_index((seed as usize * 31 + i * 17) % n))
+                .collect();
+            let full = dijkstra(&g, source);
+            let bounded = dijkstra_to_targets(&g, source, &targets);
+            for &t in &targets {
+                proptest::prop_assert_eq!(bounded.distance(t), full.distance(t));
+                proptest::prop_assert_eq!(bounded.parent[t.index()], full.parent[t.index()]);
+                proptest::prop_assert_eq!(
+                    bounded.parent_port[t.index()],
+                    full.parent_port[t.index()]
+                );
+                proptest::prop_assert_eq!(bounded.path(t), full.path(t));
+            }
+        }
     }
 
     #[test]

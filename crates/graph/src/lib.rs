@@ -50,6 +50,7 @@ mod error;
 pub mod generators;
 mod graph;
 pub mod io;
+pub mod par;
 pub mod types;
 
 pub use error::GraphError;

@@ -1,0 +1,73 @@
+//! A tiny shared-nothing parallel-map helper used across the workspace.
+//!
+//! The workspace's dominant parallel pattern is "fan a slice out over worker
+//! threads that own disjoint blocks" (matrix rows, cover balls, scheme
+//! tables).  This module keeps that scaffold in one place so chunk sizing and
+//! panic propagation are fixed once.
+
+use std::panic::resume_unwind;
+
+/// Runs `f(start_index, block)` over disjoint blocks of `slice`, one scoped
+/// worker thread per block, sized to the available parallelism.
+///
+/// `start_index` is the index of `block[0]` within `slice`, so workers can
+/// recover the global position of each element.  Blocks are contiguous and
+/// cover the slice exactly; with `t` threads there are at most `t` blocks.
+/// Determinism is the caller's property: as long as `f` writes only through
+/// its own block (which the borrow checker enforces) and reads only shared
+/// immutable state, the result is bit-identical for any thread count.
+///
+/// A panic in any worker is propagated to the caller with its original
+/// payload after all workers have joined.
+pub fn par_blocks_mut<T, F>(slice: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = slice.len();
+    if n == 0 {
+        return;
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let chunk = n.div_ceil(threads);
+    let result = crossbeam::scope(|scope| {
+        for (ci, block) in slice.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| f(ci * chunk, block));
+        }
+    });
+    if let Err(payload) = result {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_element_exactly_once_with_global_indices() {
+        let mut v = vec![0usize; 1037];
+        par_blocks_mut(&mut v, |start, block| {
+            for (offset, slot) in block.iter_mut().enumerate() {
+                *slot = start + offset;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| i == x));
+    }
+
+    #[test]
+    fn empty_slice_is_a_noop() {
+        let mut v: Vec<u8> = Vec::new();
+        par_blocks_mut(&mut v, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            let mut v = vec![0u8; 16];
+            par_blocks_mut(&mut v, |_, _| panic!("worker failed"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -27,7 +27,7 @@ use crate::substrate::{LabelBits, NameDependentSubstrate};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rtr_graph::algo::dijkstra::dijkstra;
+use rtr_graph::algo::dijkstra::dijkstra_to_targets;
 use rtr_graph::{DiGraph, NodeId, Port};
 use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
@@ -93,7 +93,11 @@ struct LandmarkRecord {
 }
 
 /// The compact landmark + ball name-dependent substrate.
-#[derive(Debug)]
+///
+/// `Clone` is cheap relative to a rebuild (plain table copies, no Dijkstras),
+/// which is how `SparseSchemeSuite` shares one substrate build between the
+/// stretch-6 and exponential schemes.
+#[derive(Debug, Clone)]
 pub struct LandmarkBallScheme {
     n: usize,
     landmarks: Vec<NodeId>,
@@ -178,7 +182,11 @@ impl LandmarkBallScheme {
             members.sort_by_key(|&w| (rt_row[w.index()], w.0));
             members.truncate(ball_cap);
             if !members.is_empty() {
-                let sp = dijkstra(g, u);
+                // Bounded Dijkstra: stop as soon as every ball member is
+                // settled instead of running to completion — the members are
+                // the only nodes read, and their first hops are bit-identical
+                // to a full run (see `dijkstra_to_targets`).
+                let sp = dijkstra_to_targets(g, u, &members);
                 for w in members {
                     // First hop of the shortest path u → w.
                     let path = sp.path(w).expect("strongly connected");
@@ -454,6 +462,29 @@ mod tests {
             for &other in s.landmarks() {
                 assert!(m.roundtrip(v, l) <= m.roundtrip(v, other));
             }
+        }
+    }
+
+    #[test]
+    fn ball_ports_match_full_dijkstra_first_hops() {
+        // The bounded-Dijkstra extraction must store exactly the first hop a
+        // full single-source run would have stored, for every ball member.
+        for seed in [12u64, 13, 14] {
+            let (g, _m, s) = build(70, seed);
+            let mut checked = 0usize;
+            for u in g.nodes() {
+                if s.balls[u.index()].is_empty() {
+                    continue;
+                }
+                let sp = rtr_graph::algo::dijkstra::dijkstra(&g, u);
+                for (&w, &port) in &s.balls[u.index()] {
+                    let path = sp.path(w).expect("ball member reachable");
+                    let expected = g.port_of_edge(u, path[1]).expect("edge on path");
+                    assert_eq!(port, expected, "ball port ({u},{w}) differs from full run");
+                    checked += 1;
+                }
+            }
+            assert!(checked > 0, "seed {seed}: no ball entries exercised");
         }
     }
 

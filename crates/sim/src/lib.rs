@@ -27,6 +27,6 @@ mod report;
 mod runtime;
 mod traits;
 
-pub use report::{RoundtripReport, Trace};
+pub use report::{BriefRoundtrip, BriefTrace, RoundtripReport, Trace};
 pub use runtime::{SimError, Simulator, SimulatorConfig};
 pub use traits::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};

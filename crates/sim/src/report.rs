@@ -32,6 +32,89 @@ impl Trace {
     }
 }
 
+/// The compact accounting of one trip, produced by the allocation-free
+/// serving path ([`crate::Simulator::run_trip_brief`]).
+///
+/// Identical to a [`Trace`] with the node sequence dropped: the concurrent
+/// route-serving plane (`rtr-engine`) runs millions of roundtrips per second
+/// and must not allocate a `Vec<NodeId>` per trip just to read its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BriefTrace {
+    /// Number of edges traversed.
+    pub hops: usize,
+    /// Total weight of the traversed edges.
+    pub weight: Distance,
+    /// The largest header size (in bits) observed at any point of the trip.
+    pub max_header_bits: usize,
+    /// The node that delivered the packet to its host.
+    pub delivered_at: NodeId,
+}
+
+impl BriefTrace {
+    /// True when this brief trace agrees with the full trace `t` on every
+    /// shared field (the equivalence the engine's tests assert).
+    pub fn agrees_with(&self, t: &Trace) -> bool {
+        self.hops == t.hops()
+            && self.weight == t.weight
+            && self.max_header_bits == t.max_header_bits
+            && self.delivered_at == t.delivered_at()
+    }
+}
+
+/// The two brief traces of one roundtrip request, mirroring
+/// [`RoundtripReport`] without the node sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BriefRoundtrip {
+    /// Source node `s`.
+    pub source: NodeId,
+    /// Destination node `t`.
+    pub destination: NodeId,
+    /// The outbound trip `s → t`.
+    pub outbound: BriefTrace,
+    /// The return trip `t → s`.
+    pub inbound: BriefTrace,
+}
+
+impl BriefRoundtrip {
+    /// Total weight of the roundtrip route actually taken.
+    pub fn total_weight(&self) -> Distance {
+        self.outbound.weight + self.inbound.weight
+    }
+
+    /// Total number of hops of the roundtrip.
+    pub fn total_hops(&self) -> usize {
+        self.outbound.hops + self.inbound.hops
+    }
+
+    /// The largest header written at any point of either trip.
+    pub fn max_header_bits(&self) -> usize {
+        self.outbound.max_header_bits.max(self.inbound.max_header_bits)
+    }
+
+    /// The roundtrip stretch of this request (see [`RoundtripReport::stretch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or the pair is unreachable in `m`.
+    pub fn stretch<O: DistanceOracle + ?Sized>(&self, m: &O) -> f64 {
+        m.roundtrip_stretch(self.source, self.destination, self.total_weight())
+    }
+
+    /// Exact integer check that the roundtrip is within `num/den · r(s, t)`.
+    pub fn within_stretch<O: DistanceOracle + ?Sized>(&self, m: &O, num: u64, den: u64) -> bool {
+        m.within_stretch(self.source, self.destination, self.total_weight(), num, den)
+    }
+
+    /// True when this brief report agrees with the full report `r` on every
+    /// shared field.
+    pub fn agrees_with(&self, r: &RoundtripReport) -> bool {
+        self.source == r.source
+            && self.destination == r.destination
+            && self.outbound.agrees_with(&r.outbound)
+            && self.inbound.agrees_with(&r.inbound)
+    }
+}
+
 /// The two traces of one roundtrip request `(s → t, t → s)` plus derived
 /// accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,6 @@
 //! The hop-by-hop packet simulator.
 
-use crate::report::{RoundtripReport, Trace};
+use crate::report::{BriefRoundtrip, BriefTrace, RoundtripReport, Trace};
 use crate::traits::{ForwardAction, HeaderBits, RoundtripRouting, RoutingError};
 use rtr_dictionary::NodeName;
 use rtr_graph::{DiGraph, NodeId, Port};
@@ -116,6 +116,47 @@ impl<'g> Simulator<'g> {
         self.graph
     }
 
+    /// The shared hop loop behind [`run_trip`](Self::run_trip) and
+    /// [`run_trip_brief`](Self::run_trip_brief): forward hop by hop, resolve
+    /// ports, enforce the TTL and failed links, and report each visited node
+    /// to `on_hop`. Keeping both entry points on one loop guarantees the
+    /// brief path is behaviorally identical to the tracing path.
+    fn drive_trip<S: RoundtripRouting>(
+        &self,
+        scheme: &S,
+        start: NodeId,
+        header: &mut S::Header,
+        mut on_hop: impl FnMut(NodeId),
+    ) -> Result<BriefTrace, SimError> {
+        let mut hops = 0usize;
+        let mut weight = 0u64;
+        let mut max_header_bits = header.bits();
+        let mut at = start;
+        for _ in 0..=self.config.max_hops {
+            match scheme.forward(at, header)? {
+                ForwardAction::Deliver => {
+                    max_header_bits = max_header_bits.max(header.bits());
+                    return Ok(BriefTrace { hops, weight, max_header_bits, delivered_at: at });
+                }
+                ForwardAction::Forward(port) => {
+                    max_header_bits = max_header_bits.max(header.bits());
+                    let edge = self
+                        .graph
+                        .edge_by_port(at, port)
+                        .ok_or(SimError::PortNotFound { at, port })?;
+                    if self.config.failed_links.contains(&(at, edge.to)) {
+                        return Err(SimError::LinkDown { from: at, to: edge.to });
+                    }
+                    weight += edge.weight;
+                    at = edge.to;
+                    hops += 1;
+                    on_hop(at);
+                }
+            }
+        }
+        Err(SimError::TtlExceeded { hops: self.config.max_hops })
+    }
+
     /// Runs a single one-way trip: inject `header` at `start` and forward hop
     /// by hop until the scheme delivers.
     ///
@@ -130,31 +171,64 @@ impl<'g> Simulator<'g> {
         mut header: S::Header,
     ) -> Result<(Trace, S::Header), SimError> {
         let mut nodes = vec![start];
-        let mut weight = 0u64;
-        let mut max_header_bits = header.bits();
-        let mut at = start;
-        for _ in 0..=self.config.max_hops {
-            match scheme.forward(at, &mut header)? {
-                ForwardAction::Deliver => {
-                    max_header_bits = max_header_bits.max(header.bits());
-                    return Ok((Trace { nodes, weight, max_header_bits }, header));
-                }
-                ForwardAction::Forward(port) => {
-                    max_header_bits = max_header_bits.max(header.bits());
-                    let edge = self
-                        .graph
-                        .edge_by_port(at, port)
-                        .ok_or(SimError::PortNotFound { at, port })?;
-                    if self.config.failed_links.contains(&(at, edge.to)) {
-                        return Err(SimError::LinkDown { from: at, to: edge.to });
-                    }
-                    weight += edge.weight;
-                    at = edge.to;
-                    nodes.push(at);
-                }
-            }
+        let brief = self.drive_trip(scheme, start, &mut header, |v| nodes.push(v))?;
+        Ok((Trace { nodes, weight: brief.weight, max_header_bits: brief.max_header_bits }, header))
+    }
+
+    /// The allocation-free variant of [`run_trip`](Self::run_trip): same hop
+    /// loop, same accounting, but no node sequence is recorded, so nothing is
+    /// allocated per trip. The header is rewritten in place.
+    ///
+    /// This is the `&`-only forwarding entry point the concurrent serving
+    /// plane (`rtr-engine`) drives from many worker threads at once: it takes
+    /// `&self` and `&S`, touches no interior state, and is safe to call
+    /// concurrently for any `S: Sync` scheme.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised by the run.
+    pub fn run_trip_brief<S: RoundtripRouting>(
+        &self,
+        scheme: &S,
+        start: NodeId,
+        header: &mut S::Header,
+    ) -> Result<BriefTrace, SimError> {
+        self.drive_trip(scheme, start, header, |_| {})
+    }
+
+    /// The allocation-free variant of [`roundtrip`](Self::roundtrip): runs
+    /// both legs through [`run_trip_brief`](Self::run_trip_brief) with the
+    /// same delivery verification, returning compact per-leg accounting
+    /// instead of full traces.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], including [`SimError::WrongDelivery`] when either leg
+    /// ends at an unexpected node.
+    pub fn roundtrip_brief<S: RoundtripRouting>(
+        &self,
+        scheme: &S,
+        src: NodeId,
+        dst: NodeId,
+        dst_name: NodeName,
+    ) -> Result<BriefRoundtrip, SimError> {
+        let mut header = scheme.new_packet(src, dst_name)?;
+        let outbound = self.run_trip_brief(scheme, src, &mut header)?;
+        if outbound.delivered_at != dst {
+            return Err(SimError::WrongDelivery {
+                delivered_at: outbound.delivered_at,
+                expected: dst,
+            });
         }
-        Err(SimError::TtlExceeded { hops: self.config.max_hops })
+        let mut return_header = scheme.make_return(dst, &header)?;
+        let inbound = self.run_trip_brief(scheme, dst, &mut return_header)?;
+        if inbound.delivered_at != src {
+            return Err(SimError::WrongDelivery {
+                delivered_at: inbound.delivered_at,
+                expected: src,
+            });
+        }
+        Ok(BriefRoundtrip { source: src, destination: dst, outbound, inbound })
     }
 
     /// Runs a complete roundtrip request: a new packet from `src` addressed to
@@ -286,6 +360,30 @@ mod tests {
         assert_eq!(report.inbound.hops(), 5);
         let cycle: u64 = g.nodes().map(|u| g.out_edges(u)[0].weight).sum();
         assert_eq!(report.total_weight(), cycle);
+    }
+
+    #[test]
+    fn brief_roundtrip_agrees_with_full_roundtrip() {
+        let g = directed_ring(8, 1).unwrap();
+        let scheme = RingScheme::new(&g);
+        let sim = Simulator::new(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let full = sim.roundtrip(&scheme, s, t, NodeName(t.0)).unwrap();
+                let brief = sim.roundtrip_brief(&scheme, s, t, NodeName(t.0)).unwrap();
+                assert!(brief.agrees_with(&full), "({s},{t}) brief/full disagreement");
+            }
+        }
+    }
+
+    #[test]
+    fn brief_roundtrip_detects_wrong_delivery() {
+        let g = directed_ring(6, 2).unwrap();
+        let scheme = RingScheme::new(&g);
+        let sim = Simulator::new(&g);
+        let err = sim.roundtrip_brief(&scheme, NodeId(0), NodeId(4), NodeName(3)).unwrap_err();
+        assert!(matches!(err, SimError::WrongDelivery { delivered_at, expected }
+            if delivered_at == NodeId(3) && expected == NodeId(4)));
     }
 
     #[test]
