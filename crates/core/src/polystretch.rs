@@ -28,6 +28,7 @@ use rtr_sim::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError
 use rtr_trees::{TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Parameters of the polynomial-tradeoff scheme.
 #[derive(Debug, Clone, Copy)]
@@ -75,10 +76,10 @@ pub struct PolyHeader {
     /// The home double-tree of the source at `level`.
     tree: Option<TreeId>,
     /// The source's own address in that tree (for failure returns and the
-    /// final acknowledgment).
-    src_tree_label: Option<TreeLabel>,
+    /// final acknowledgment).  Interned: headers share the table's allocation.
+    src_tree_label: Option<Arc<TreeLabel>>,
     /// The tree address of the waypoint currently being routed to.
-    next_label: Option<TreeLabel>,
+    next_label: Option<Arc<TreeLabel>>,
     /// Whether the destination has been reached (drives the return leg).
     found: bool,
     /// True while the packet is heading back to the source (either a failure
@@ -116,13 +117,16 @@ struct TreeRecord {
     /// Out-port of the first edge toward the tree's center (`None` at the center).
     up_port: Option<Port>,
     /// The node's own address in this tree.
-    own_label: TreeLabel,
+    own_label: Arc<TreeLabel>,
     /// Prefix dictionary: `(digit level j, next digit τ)` → tree address of
-    /// the nearest member matching `σ^j(own name)·τ` (§4.1, item 2c).
-    prefix: HashMap<(u32, u32), TreeLabel>,
+    /// the nearest member matching `σ^j(own name)·τ` (§4.1, item 2c).  The
+    /// addresses are interned behind `Arc`: a popular member's label is
+    /// referenced from many `(node, j, τ)` entries across the tree but
+    /// stored once.
+    prefix: HashMap<(u32, u32), Arc<TreeLabel>>,
     /// Exact-name entries for the last digit (the `j = k−1` row of the same
     /// table): destination name → its tree address.
-    exact: HashMap<NodeName, TreeLabel>,
+    exact: HashMap<NodeName, Arc<TreeLabel>>,
 }
 
 /// Per-node table.
@@ -163,14 +167,36 @@ impl PolynomialStretch {
         names: &NamingAssignment,
         params: PolyParams,
     ) -> Self {
+        assert!(params.cover_k >= 2, "cover parameter must be >= 2");
+        let cover = DoubleTreeCover::build(g, m, params.cover_k);
+        Self::build_with_cover(g, m, names, &cover, params)
+    }
+
+    /// Builds the scheme over an **existing** Theorem 13 hierarchy, so one
+    /// cover build (the dominant preprocessing cost at large `n`) can be
+    /// shared with other consumers — `SparseSchemeSuite` hands the same
+    /// hierarchy to this scheme and to the §3 substrate
+    /// (`rtr_namedep::TreeCoverScheme::from_cover`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, the cover's sparseness differs from
+    /// `params.cover_k`, the graph is not strongly connected, or the naming
+    /// size mismatches.
+    pub fn build_with_cover<O: DistanceOracle + ?Sized>(
+        g: &DiGraph,
+        m: &O,
+        names: &NamingAssignment,
+        cover: &DoubleTreeCover,
+        params: PolyParams,
+    ) -> Self {
         let n = g.node_count();
         let k = params.k;
         assert!(k >= 2, "PolynomialStretch requires k >= 2");
-        assert!(params.cover_k >= 2, "cover parameter must be >= 2");
+        assert_eq!(cover.k(), params.cover_k, "cover was built with a different sparseness");
         assert_eq!(names.len(), n, "naming assignment size mismatch");
         assert!(m.is_strongly_connected(), "PolynomialStretch requires a strongly connected graph");
 
-        let cover = DoubleTreeCover::build(g, m, params.cover_k);
         let space = AddressSpace::new(n, k);
         let name_bits = id_bits(n);
 
@@ -241,8 +267,8 @@ impl PolynomialStretch {
                     max_label_bits = max_label_bits.max(own_label.bits(n));
                     let up_port = ctx.tree.in_tree().next_port(u);
 
-                    let mut prefix: HashMap<(u32, u32), TreeLabel> = HashMap::new();
-                    let mut exact: HashMap<NodeName, TreeLabel> = HashMap::new();
+                    let mut prefix: HashMap<(u32, u32), Arc<TreeLabel>> = HashMap::new();
+                    let mut exact: HashMap<NodeName, Arc<TreeLabel>> = HashMap::new();
                     for j in 0..k {
                         for tau in 0..space.q() {
                             let mut key = own_digits[..j as usize].to_vec();
@@ -331,7 +357,7 @@ impl PolynomialStretch {
         tree: TreeId,
         dest: NodeName,
         matched: u32,
-    ) -> Option<TreeLabel> {
+    ) -> Option<Arc<TreeLabel>> {
         let record = self.table(at).trees.get(&tree)?;
         if matched + 1 == self.k {
             return record.exact.get(&dest).cloned();

@@ -6,6 +6,13 @@ use rtr_graph::{DiGraph, Distance, NodeId};
 use rtr_metric::DistanceOracle;
 use rtr_trees::{DoubleTree, TreeRouter};
 
+/// Peak transient ball bits held per level group during
+/// [`DoubleTreeCover::build`] (≈ 8 GB of bitsets).  Small instances keep
+/// every level in one group — one row sweep, exactly the PR 2 behavior —
+/// while n = 10⁵ splits into ⌈levels / ⌊budget / n²⌋⌉ groups instead of
+/// materialising `levels · n²` bits at once.
+const BALL_GROUP_BUDGET_BITS: u128 = 1 << 36;
+
 /// Globally unique identifier of a double-tree inside a [`DoubleTreeCover`]:
 /// the level (scale index) and the tree's index within that level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -129,48 +136,69 @@ impl DoubleTreeCover {
         }
 
         // Every scale's ball of a node is a prefix of the same roundtrip row,
-        // so one parallel row sweep collects the balls of *all* levels at
-        // once: `O(n)` Dijkstra pairs on a lazy oracle instead of
-        // `O(levels · n)`. Workers own disjoint node blocks; the result is
-        // bit-identical to per-level collection. (The price is
-        // `levels · n²` transient ball bits instead of `n²` — fine at the
-        // current n = 10⁴ target, an open ROADMAP item for n = 10⁵.)
+        // so one row sweep collects the balls of a whole *group* of levels at
+        // once.  Levels are chunked into groups bounded by a transient-bit
+        // budget: collecting all levels in one sweep (PR 2) held
+        // `levels · n²` ball bits — tens of gigabytes at n = 10⁵ — while
+        // per-group collection caps the peak at `group · n²` bits and pays
+        // one extra row sweep per additional group.  Small instances keep
+        // every level in a single group, so their oracle cost is unchanged,
+        // and within a group the result is bit-identical to per-level
+        // collection either way.
         let n = g.node_count();
-        let mut by_node: Vec<Option<Vec<NodeSet>>> = (0..n).map(|_| None).collect();
-        rtr_graph::par::par_blocks_mut(&mut by_node, |start, block| {
-            for (offset, slot) in block.iter_mut().enumerate() {
-                let v = NodeId::from_index(start + offset);
-                let row = m.roundtrip_row(v);
-                *slot = Some(
-                    scales
-                        .iter()
-                        .map(|&d| {
-                            NodeSet::from_nodes(
-                                n,
-                                row.iter()
-                                    .enumerate()
-                                    .filter(|&(_, &r)| r <= d)
-                                    .map(|(w, _)| NodeId::from_index(w)),
-                            )
-                        })
-                        .collect(),
-                );
+        let group = if n == 0 {
+            scales.len().max(1)
+        } else {
+            ((BALL_GROUP_BUDGET_BITS / (n as u128 * n as u128)).max(1) as usize)
+                .min(scales.len().max(1))
+        };
+        let mut levels: Vec<LevelCover> = Vec::with_capacity(scales.len());
+        for group_scales in scales.chunks(group) {
+            let mut by_node: Vec<Option<Vec<NodeSet>>> = (0..n).map(|_| None).collect();
+            let collect_balls = |row: &[Distance]| -> Vec<NodeSet> {
+                group_scales
+                    .iter()
+                    .map(|&d| {
+                        NodeSet::from_nodes(
+                            n,
+                            row.iter()
+                                .enumerate()
+                                .filter(|&(_, &r)| r <= d)
+                                .map(|(w, _)| NodeId::from_index(w)),
+                        )
+                    })
+                    .collect()
+            };
+            if m.prefers_row_prefetch() {
+                // Lazy oracle: sweep sequentially over prefetch windows so
+                // the row Dijkstras overlap on the oracle's worker pool
+                // while this thread slices finished rows into balls.
+                let sources: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+                rtr_metric::sweep_rows_prefetched(m, &sources, |v| {
+                    by_node[v.index()] = Some(collect_balls(&m.roundtrip_row(v)));
+                });
+            } else {
+                // Dense oracle: rows are free; parallelise the collection
+                // over workers owning disjoint node blocks.
+                rtr_graph::par::par_blocks_mut(&mut by_node, |start, block| {
+                    for (offset, slot) in block.iter_mut().enumerate() {
+                        let v = NodeId::from_index(start + offset);
+                        *slot = Some(collect_balls(&m.roundtrip_row(v)));
+                    }
+                });
             }
-        });
-        // Transpose node-major → level-major (moves only).
-        let mut by_level: Vec<Vec<NodeSet>> =
-            scales.iter().map(|_| Vec::with_capacity(n)).collect();
-        for balls in by_node {
-            for (li, ball) in balls.expect("every node was swept").into_iter().enumerate() {
-                by_level[li].push(ball);
+            // Transpose node-major → level-major (moves only).
+            let mut by_level: Vec<Vec<NodeSet>> =
+                group_scales.iter().map(|_| Vec::with_capacity(n)).collect();
+            for balls in by_node {
+                for (gi, ball) in balls.expect("every node was swept").into_iter().enumerate() {
+                    by_level[gi].push(ball);
+                }
+            }
+            for (&scale, balls) in group_scales.iter().zip(by_level) {
+                levels.push(LevelCover::from_balls(g, balls, k, scale));
             }
         }
-
-        let levels = scales
-            .iter()
-            .zip(by_level)
-            .map(|(&scale, balls)| LevelCover::from_balls(g, balls, k, scale))
-            .collect();
         DoubleTreeCover { k, levels }
     }
 

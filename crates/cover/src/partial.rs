@@ -55,39 +55,78 @@ pub fn partial_cover(r: &[NodeSet], total_r: usize, k: u32) -> PartialCoverOutpu
     assert!(k >= 2, "PartialCover requires k >= 2");
     let threshold_base = (total_r.max(1) as f64).powf(1.0 / k as f64);
 
+    // Inverted node → cluster index.  Each growth round below only touches
+    // the clusters that actually intersect the nodes the seed set gained last
+    // round, instead of re-scanning every alive cluster; and because removing
+    // a merged set kills *every* cluster containing each of its nodes, each
+    // node's cluster list is scanned at most once per invocation.  Total work
+    // is linear in Σ|S| where the old scan was quadratic in |R| — the
+    // difference between minutes and milliseconds on the small-scale levels
+    // (mostly singleton balls) of a large hierarchy.
+    let universe = r.first().map(NodeSet::universe).unwrap_or(0);
+    let mut by_node: Vec<Vec<u32>> = vec![Vec::new(); universe];
+    for (i, s) in r.iter().enumerate() {
+        for v in s.iter() {
+            by_node[v.index()].push(i as u32);
+        }
+    }
+
     let mut alive: Vec<bool> = vec![true; r.len()];
+    let mut in_z: Vec<bool> = vec![false; r.len()];
     let mut merged = Vec::new();
     let mut covered = Vec::new();
     let mut removed = Vec::new();
 
     // Line 3 of each round selects an arbitrary cluster S0 ∈ U (smallest
-    // alive index for determinism).
-    while let Some(seed) = alive.iter().position(|&a| a) {
-        // Lines 4-9: grow Z until |Z| ≤ |R|^{1/k} |Y|.
-        let mut z_script: Vec<usize> = vec![seed];
+    // alive index for determinism).  Seeds are consumed in ascending order —
+    // everything below the cursor is dead — so the scan resumes at the
+    // cursor instead of restarting from zero.
+    let mut seed = 0usize;
+    while seed < r.len() {
+        if !alive[seed] {
+            seed += 1;
+            continue;
+        }
+
+        // Lines 4-9: grow Z until |Z| ≤ |R|^{1/k} |Y|.  Z is monotone round
+        // over round (Y̅ only gains nodes and U is fixed during the growth),
+        // so each round extends the previous Z by scanning only the cluster
+        // lists of the nodes Y̅ gained last round; `z_list[..y_len]` is
+        // always the previous round's Z.
+        let mut z_list: Vec<usize> = vec![seed];
+        in_z[seed] = true;
         let mut z_bar: NodeSet = r[seed].clone();
-        let (y_script, y_bar) = loop {
-            let y_script = z_script.clone();
+        let mut frontier: Vec<_> = r[seed].iter().collect();
+        let (y_len, y_bar) = loop {
+            let y_len = z_list.len();
             let y_bar = z_bar.clone();
-            // Z ← {S ∈ U | S ∩ Y ≠ ∅}
-            z_script = alive
-                .iter()
-                .enumerate()
-                .filter(|&(i, &a)| a && r[i].intersects(&y_bar))
-                .map(|(i, _)| i)
-                .collect();
-            z_bar = NodeSet::new(y_bar.universe());
-            for &i in &z_script {
-                z_bar.union_with(&r[i]);
+            // Z ← {S ∈ U | S ∩ Y̅ ≠ ∅}: every new member contains one of the
+            // frontier nodes.
+            for v in std::mem::take(&mut frontier) {
+                for &ci in &by_node[v.index()] {
+                    let ci = ci as usize;
+                    if alive[ci] && !in_z[ci] {
+                        in_z[ci] = true;
+                        z_list.push(ci);
+                        for w in r[ci].iter() {
+                            if z_bar.insert(w) {
+                                frontier.push(w);
+                            }
+                        }
+                    }
+                }
             }
-            if (z_script.len() as f64) <= threshold_base * (y_script.len() as f64) {
-                break (y_script, y_bar);
+            if (z_list.len() as f64) <= threshold_base * (y_len as f64) {
+                break (y_len, y_bar);
             }
         };
 
         // Lines 10-12: U ← U \ Z; DT ← DT ∪ {Y̅}; DR ← DR ∪ 𝒴.
-        for &i in &z_script {
+        let mut y_script = z_list[..y_len].to_vec();
+        y_script.sort_unstable();
+        for &i in &z_list {
             alive[i] = false;
+            in_z[i] = false;
             removed.push(i);
         }
         covered.extend(y_script.iter().copied());
@@ -194,9 +233,13 @@ pub fn cover_balls<O: DistanceOracle + ?Sized>(m: &O, k: u32, d: Distance) -> Ba
 pub fn cover_from_balls(balls: Vec<NodeSet>, k: u32, d: Distance) -> BallCover {
     assert!(k >= 2, "Cover requires k >= 2");
     let n = balls.len();
-    let mut alive: Vec<(NodeId, NodeSet)> =
-        balls.into_iter().enumerate().map(|(i, b)| (NodeId::from_index(i), b)).collect();
-    for (v, b) in &alive {
+    // Owners and ball sets kept as two parallel vectors so each *Cover*
+    // iteration can hand `partial_cover` the alive sets directly — the old
+    // tupled layout re-cloned every alive ball (up to n·n bits) per
+    // iteration just to produce a borrowable slice.
+    let mut alive_owners: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let mut alive_balls: Vec<NodeSet> = balls;
+    for (v, b) in alive_owners.iter().zip(&alive_balls) {
         assert!(b.contains(*v), "ball of {v} does not contain its owner");
     }
 
@@ -205,28 +248,31 @@ pub fn cover_from_balls(balls: Vec<NodeSet>, k: u32, d: Distance) -> BallCover {
     let mut home: Vec<usize> = vec![usize::MAX; n];
 
     // while R ≠ ∅: (DR, DT) ← PartialCover(R, k); R ← R \ DR; T ← T ∪ DT.
-    while !alive.is_empty() {
-        let balls: Vec<NodeSet> = alive.iter().map(|(_, b)| b.clone()).collect();
-        let out = partial_cover(&balls, balls.len(), k);
+    while !alive_balls.is_empty() {
+        let out = partial_cover(&alive_balls, alive_balls.len(), k);
         debug_assert!(!out.covered.is_empty(), "PartialCover must make progress");
 
         for mc in &out.merged {
             let cluster_id = clusters.len();
             clusters.push(mc.nodes.to_vec());
-            seeds.push(alive[mc.seed].0);
+            seeds.push(alive_owners[mc.seed]);
             for &li in &mc.subsumed {
-                let owner = alive[li].0;
+                let owner = alive_owners[li];
                 home[owner.index()] = cluster_id;
             }
         }
 
         let covered: std::collections::HashSet<usize> = out.covered.iter().copied().collect();
-        alive = alive
-            .into_iter()
-            .enumerate()
-            .filter(|(i, _)| !covered.contains(i))
-            .map(|(_, x)| x)
-            .collect();
+        let mut next_owners = Vec::with_capacity(alive_owners.len() - covered.len());
+        let mut next_balls = Vec::with_capacity(alive_owners.len() - covered.len());
+        for (i, (owner, ball)) in alive_owners.into_iter().zip(alive_balls).enumerate() {
+            if !covered.contains(&i) {
+                next_owners.push(owner);
+                next_balls.push(ball);
+            }
+        }
+        alive_owners = next_owners;
+        alive_balls = next_balls;
     }
 
     let mut membership: Vec<Vec<usize>> = vec![Vec::new(); n];

@@ -49,5 +49,8 @@ mod order;
 
 pub use cluster::ClusterMetric;
 pub use matrix::DistanceMatrix;
-pub use oracle::{CachedSubsetOracle, DistanceOracle, LazyDijkstraOracle, OracleStats};
+pub use oracle::{
+    sweep_rows_prefetched, CachedSubsetOracle, DistanceOracle, LazyDijkstraOracle, OracleStats,
+    PREFETCH_WINDOW,
+};
 pub use order::{roundtrip_closer, RoundtripOrder};

@@ -76,6 +76,30 @@ pub trait DistanceOracle: Sync + fmt::Debug {
         fwd.iter().zip(&rev).map(|(&a, &b)| saturating_dist_add(a, b)).collect()
     }
 
+    /// Hint that the caller is about to sweep the forward and reverse rows of
+    /// `sources`, in order.
+    ///
+    /// Caching oracles may compute the missing rows on worker threads before
+    /// returning, so the sweep's subsequent row reads are cache hits and the
+    /// Dijkstra time overlaps across cores instead of serialising on the
+    /// consumer's thread.  Prefetching never changes any answer — only when
+    /// (and on which thread) the Dijkstras run — so deterministic consumers
+    /// may call this freely.  The default does nothing (dense oracles have
+    /// every row already).
+    fn prefetch_rows(&self, sources: &[NodeId]) {
+        let _ = sources;
+    }
+
+    /// True when this oracle pays a per-row cost on cold reads and therefore
+    /// benefits from [`prefetch_rows`](Self::prefetch_rows)-driven sequential
+    /// sweeps.  Row-sweeping consumers use this to pick between "fan the
+    /// sweep out over worker threads" (dense: rows are free, parallelise the
+    /// consumption) and "sweep sequentially with a prefetch window" (lazy:
+    /// the oracle parallelises the Dijkstras, consumption is cheap).
+    fn prefers_row_prefetch(&self) -> bool {
+        false
+    }
+
     /// True when every ordered pair is reachable.
     ///
     /// The default checks the forward and reverse rows of node 0 — all nodes
@@ -175,6 +199,31 @@ pub trait DistanceOracle: Sync + fmt::Debug {
     }
 }
 
+/// Sources per [`DistanceOracle::prefetch_rows`] batch in
+/// [`sweep_rows_prefetched`] (each source is two rows; lazy oracles clamp
+/// their own batches to the cache capacity on top of this).
+pub const PREFETCH_WINDOW: usize = 16;
+
+/// Sweeps `sources` sequentially, prefetching each window's rows before
+/// consuming it — the canonical loop for row-granular consumers (orders,
+/// landmark extraction, cover balls) on oracles where
+/// [`DistanceOracle::prefers_row_prefetch`] is true.  The oracle overlaps
+/// the window's Dijkstras on its worker pool while `f` drains finished rows
+/// on this thread; on a dense oracle the prefetch is a no-op and the loop
+/// degenerates to a plain sequential sweep.
+pub fn sweep_rows_prefetched<O, F>(m: &O, sources: &[NodeId], mut f: F)
+where
+    O: DistanceOracle + ?Sized,
+    F: FnMut(NodeId),
+{
+    for window in sources.chunks(PREFETCH_WINDOW) {
+        m.prefetch_rows(window);
+        for &v in window {
+            f(v);
+        }
+    }
+}
+
 /// Blanket impl so `&O` and `&dyn DistanceOracle` satisfy oracle bounds too.
 impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
     fn node_count(&self) -> usize {
@@ -200,6 +249,12 @@ impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
     }
     fn roundtrip_diameter_bound(&self) -> Distance {
         (**self).roundtrip_diameter_bound()
+    }
+    fn prefetch_rows(&self, sources: &[NodeId]) {
+        (**self).prefetch_rows(sources)
+    }
+    fn prefers_row_prefetch(&self) -> bool {
+        (**self).prefers_row_prefetch()
     }
 }
 
@@ -411,6 +466,54 @@ impl DistanceOracle for LazyDijkstraOracle<'_> {
     fn rev_row(&self, u: NodeId) -> Vec<Distance> {
         self.fetch(RowKey::Rev(u.0)).as_ref().clone()
     }
+
+    /// Computes the missing forward + reverse rows of `sources` on a worker
+    /// pool and installs them in the cache.  The batch of *missing* keys is
+    /// clamped to the cache capacity — a larger batch would evict its own
+    /// rows before the sweep reads them (already-cached keys don't count
+    /// against the clamp, so a warm prefix never starves the cold tail).
+    fn prefetch_rows(&self, sources: &[NodeId]) {
+        let keys: Vec<RowKey> = {
+            let cache = self.cache.lock();
+            sources
+                .iter()
+                .flat_map(|&s| [RowKey::Fwd(s.0), RowKey::Rev(s.0)])
+                .filter(|k| !cache.rows.contains_key(k))
+                .take(cache.capacity.max(1))
+                .collect()
+        };
+        if keys.is_empty() {
+            return;
+        }
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(keys.len());
+        let next = AtomicUsize::new(0);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                let (next, keys) = (&next, &keys);
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= keys.len() {
+                        break;
+                    }
+                    let key = keys[i];
+                    let row = Arc::new(compute_row(self.g, key));
+                    self.rows_computed.fetch_add(1, Ordering::Relaxed);
+                    let resident = {
+                        let mut cache = self.cache.lock();
+                        cache.insert(key, row);
+                        cache.rows.len()
+                    };
+                    self.peak_resident.fetch_max(resident, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("prefetch worker panicked");
+    }
+
+    fn prefers_row_prefetch(&self) -> bool {
+        true
+    }
 }
 
 /// Memoising oracle that materialises only the rows actually touched, and
@@ -475,6 +578,14 @@ impl DistanceOracle for CachedSubsetOracle<'_> {
 
     fn rev_row(&self, u: NodeId) -> Vec<Distance> {
         self.inner.rev_row(u)
+    }
+
+    fn prefetch_rows(&self, sources: &[NodeId]) {
+        self.inner.prefetch_rows(sources)
+    }
+
+    fn prefers_row_prefetch(&self) -> bool {
+        true
     }
 }
 
@@ -567,6 +678,35 @@ mod tests {
         // Re-touching costs nothing.
         let _ = oracle.row(NodeId(0));
         assert_eq!(oracle.materialised_rows(), 3);
+    }
+
+    #[test]
+    fn prefetch_fills_the_cache_and_never_changes_answers() {
+        let g = strongly_connected_gnp(36, 0.1, 13).unwrap();
+        let dense = DistanceMatrix::build(&g);
+        let lazy = LazyDijkstraOracle::new(&g, 16);
+        assert!(lazy.prefers_row_prefetch());
+        assert!(!DistanceOracle::prefers_row_prefetch(&dense));
+        let sources: Vec<NodeId> = g.nodes().take(6).collect();
+        lazy.prefetch_rows(&sources);
+        let computed = lazy.stats().rows_computed;
+        assert_eq!(computed, 12, "six sources need six forward + six reverse rows");
+        for &u in &sources {
+            let rt = lazy.roundtrip_row(u);
+            for v in g.nodes() {
+                assert_eq!(rt[v.index()], dense.roundtrip(u, v));
+            }
+        }
+        assert_eq!(lazy.stats().rows_computed, computed, "sweep after prefetch missed the cache");
+
+        // Oversized batches are clamped to the capacity instead of evicting
+        // their own rows before the sweep reads them.
+        let all: Vec<NodeId> = g.nodes().collect();
+        let small = LazyDijkstraOracle::new(&g, 4);
+        small.prefetch_rows(&all);
+        let stats = small.stats();
+        assert!(stats.peak_resident_rows <= 5, "peak {}", stats.peak_resident_rows);
+        assert!(stats.rows_computed <= 4, "clamp ignored: {} rows", stats.rows_computed);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The total order `≺_v` and the neighborhood balls `N_i(u)` of paper §2/§3.
 
-use crate::oracle::DistanceOracle;
+use crate::oracle::{sweep_rows_prefetched, DistanceOracle};
 use rtr_graph::types::saturating_dist_add;
 use rtr_graph::NodeId;
 use std::cmp::Ordering;
@@ -79,12 +79,27 @@ impl RoundtripOrder {
     /// `cap` panic — pick `cap` as the largest level size the consumer uses
     /// (`level_size(n, k−1, k)` covers every dictionary lookup of a
     /// parameter-`k` scheme).
+    ///
+    /// On a dense oracle the per-source work is the selection itself, so the
+    /// sweep fans out over worker threads owning disjoint source blocks.  On
+    /// a lazy oracle the per-source cost is the two Dijkstras behind the row
+    /// miss, so the sweep instead runs sequentially over prefetch windows —
+    /// [`DistanceOracle::prefetch_rows`] overlaps the Dijkstras on the
+    /// oracle's worker pool while this thread consumes finished rows.  Both
+    /// paths produce bit-identical orders.
     pub fn build_truncated<O: DistanceOracle + ?Sized>(m: &O, cap: usize) -> Self {
         let n = m.node_count();
         let cap = cap.min(n).max(1.min(n));
         let mut orders: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         if n == 0 {
             return RoundtripOrder { n, stored: 0, orders, rank_of: None };
+        }
+        if m.prefers_row_prefetch() {
+            let sources: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+            sweep_rows_prefetched(m, &sources, |v| {
+                orders[v.index()] = prefix_for_source(m, v, cap);
+            });
+            return RoundtripOrder { n, stored: cap, orders, rank_of: None };
         }
         let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
         let chunk = n.div_ceil(threads);

@@ -2,14 +2,24 @@
 //!
 //! Construction (Cowen–Wagner / Roditty–Thorup–Zwick flavoured):
 //!
-//! * sample a landmark set `L` of ≈ `c·√(n ln n)` nodes;
-//! * for every landmark `l`, build the full `InTree(l)` and `OutTree(l)` over
-//!   the graph; every node stores its next port toward `l` and the `O(1)`-word
-//!   tree-routing record of `OutTree(l)` (so `|L|` = Õ(√n) words per node);
+//! * sample a landmark set `L` of ≈ `c·√(n ln n)` nodes and keep the ones
+//!   that are the nearest landmark of at least one node — only those are ever
+//!   named by a label, so the rest would be dead weight in every table;
+//! * for every kept landmark `l`, build the full `InTree(l)` and `OutTree(l)`
+//!   over the graph; every node stores its next port toward `l` (`|L|` = Õ(√n)
+//!   words per node — the climb toward `l` can start anywhere) and, **only if
+//!   it lies on the out-tree path from `l` to one of `l`'s assigned
+//!   destinations**, the `O(1)`-word tree-routing record of `OutTree(l)`.
+//!   Descents visit exactly those paths, so delivery is unaffected while the
+//!   per-node record count drops from `|L|` to the handful of landmarks that
+//!   actually route through the node;
 //! * every node `u` additionally stores its **roundtrip ball**: the nodes `w`
 //!   with `r(u, w) < r(u, L)` (strictly closer than the nearest landmark),
 //!   capped at `4√n` entries, with the next port on an exact shortest path
-//!   `u → w`.
+//!   `u → w`;
+//! * every node keeps its own address in `OutTree(ℓ(u))`, interned behind an
+//!   `Arc` — the trees and routers themselves are dropped after construction
+//!   instead of retaining `|L|·n` label/table entries for label minting.
 //!
 //! The label `R3(v)` is `(v, ℓ(v), tree-label of v in OutTree(ℓ(v)))` where
 //! `ℓ(v)` is `v`'s nearest landmark by roundtrip distance — `O(log² n)` bits.
@@ -32,7 +42,9 @@ use rtr_graph::{DiGraph, NodeId, Port};
 use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
 use rtr_trees::{InTree, OutTree, TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tunables of the landmark + ball construction.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +75,10 @@ enum Phase {
 }
 
 /// The `R3(v)` label of the landmark + ball substrate.
+///
+/// The tree address is shared behind an [`Arc`]: every table entry and packet
+/// header referencing `v` points at the one interned `TreeLabel` minted at
+/// build time instead of cloning its light-hop vector.
 #[derive(Debug, Clone)]
 pub struct LandmarkLabel {
     /// The destination node.
@@ -71,7 +87,7 @@ pub struct LandmarkLabel {
     /// landmark list, which every node's table shares).
     pub landmark_index: u32,
     /// The destination's compact tree-routing label in `OutTree(ℓ(v))`.
-    pub tree_label: TreeLabel,
+    pub tree_label: Arc<TreeLabel>,
     /// Per-leg working state (mode bits written into the header).
     phase: Phase,
     bits: usize,
@@ -83,33 +99,34 @@ impl LabelBits for LandmarkLabel {
     }
 }
 
-/// Per-node, per-landmark stored record.
-#[derive(Debug, Clone)]
-struct LandmarkRecord {
-    /// Out-port of the first edge toward the landmark (`None` at the landmark).
-    up_port: Option<Port>,
-    /// This node's `O(1)`-word record in the landmark's out-tree.
-    tree_table: TreeNodeTable,
-}
-
 /// The compact landmark + ball name-dependent substrate.
 ///
-/// `Clone` is cheap relative to a rebuild (plain table copies, no Dijkstras),
-/// which is how `SparseSchemeSuite` shares one substrate build between the
-/// stretch-6 and exponential schemes.
+/// `Clone` is cheap relative to a rebuild (plain table copies, no Dijkstras;
+/// the interned tree addresses are shared, not duplicated), so one substrate
+/// build can serve several scheme constructions.
 #[derive(Debug, Clone)]
 pub struct LandmarkBallScheme {
     n: usize,
+    /// The landmarks some node actually routes through (nearest landmark of
+    /// at least one node), sorted; unused samples are discarded at build time.
     landmarks: Vec<NodeId>,
-    /// `records[v][l]`: node `v`'s record for landmark index `l`.
-    records: Vec<Vec<LandmarkRecord>>,
+    /// `up_ports[v][l]`: out-port of `v`'s first edge toward landmark `l`
+    /// (`None` at the landmark itself).  A climb toward `l` can start at any
+    /// node — the ball fallback happens wherever an entry is missing — so
+    /// this is the one per-(node, landmark) word that cannot be sparsified.
+    up_ports: Vec<Vec<Option<Port>>>,
+    /// `descent[v][l]`: `v`'s `O(1)`-word record in `OutTree(l)`, stored only
+    /// when `v` lies on the out-tree path from `l` to one of `l`'s assigned
+    /// destinations — the only nodes a descent can visit.
+    descent: Vec<HashMap<u32, TreeNodeTable>>,
     /// `balls[v]`: destination → next port on an exact shortest path.
     balls: Vec<HashMap<NodeId, Port>>,
     /// `nearest_landmark[v]`: index into `landmarks` of `ℓ(v)`.
     nearest_landmark: Vec<u32>,
-    /// Routers of each landmark's out-tree (used only at build/label time to
-    /// mint labels; forwarding uses the per-node `tree_table` records).
-    routers: Vec<TreeRouter>,
+    /// `own_label[v]`: `v`'s interned address in `OutTree(ℓ(v))` — the only
+    /// label this substrate ever mints, so the per-landmark routers need not
+    /// be retained.
+    own_label: Vec<Arc<TreeLabel>>,
     max_label_bits: usize,
     max_ball_size: usize,
 }
@@ -139,43 +156,32 @@ impl LandmarkBallScheme {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut all: Vec<NodeId> = g.nodes().collect();
         all.shuffle(&mut rng);
-        let mut landmarks: Vec<NodeId> = all.into_iter().take(landmark_count).collect();
-        landmarks.sort_unstable();
+        let mut sampled: Vec<NodeId> = all.into_iter().take(landmark_count).collect();
+        sampled.sort_unstable();
 
-        // Per-landmark trees and per-node records.
-        let mut records: Vec<Vec<LandmarkRecord>> = vec![Vec::with_capacity(landmarks.len()); n];
-        let mut routers = Vec::with_capacity(landmarks.len());
-        for &l in &landmarks {
-            let out_tree = OutTree::shortest_paths(g, l);
-            let in_tree = InTree::shortest_paths(g, l);
-            let router = TreeRouter::build(&out_tree);
-            for v in g.nodes() {
-                let tree_table = *router.table(v).expect("out-tree spans all nodes");
-                records[v.index()]
-                    .push(LandmarkRecord { up_port: in_tree.next_port(v), tree_table });
-            }
-            routers.push(router);
-        }
-
-        // Nearest landmark and roundtrip ball per node, from one roundtrip
-        // row per source (the landmark comparison and the ball threshold read
-        // the same row, so each source costs the oracle at most two
-        // Dijkstras regardless of implementation).
-        let mut nearest_landmark = vec![0u32; n];
+        // Pass 1 — nearest sampled landmark and roundtrip ball per node, from
+        // one roundtrip row per source (the landmark comparison and the ball
+        // threshold read the same row, so each source costs the oracle at
+        // most two Dijkstras regardless of implementation).  The sweep is
+        // sequential but prefetch-windowed: a lazy oracle overlaps the next
+        // window's Dijkstras on its worker pool while this thread extracts
+        // balls from finished rows.
+        let mut nearest_sampled = vec![0u32; n];
         let mut balls: Vec<HashMap<NodeId, Port>> = vec![HashMap::new(); n];
         let ball_cap = ((n as f64).sqrt() * params.ball_factor).ceil() as usize;
         let mut max_ball_size = 0usize;
-        for u in g.nodes() {
+        let nodes: Vec<NodeId> = g.nodes().collect();
+        rtr_metric::sweep_rows_prefetched(m, &nodes, |u| {
             let rt_row = m.roundtrip_row(u);
-            let (li, _) = landmarks
+            let (li, _) = sampled
                 .iter()
                 .enumerate()
                 .map(|(i, &l)| (i, rt_row[l.index()]))
                 .min_by_key(|&(i, d)| (d, i))
                 .expect("at least one landmark");
-            nearest_landmark[u.index()] = li as u32;
+            nearest_sampled[u.index()] = li as u32;
 
-            let r_to_landmarks = rt_row[landmarks[li].index()];
+            let r_to_landmarks = rt_row[sampled[li].index()];
             // Candidate ball members, nearest first, capped.
             let mut members: Vec<NodeId> =
                 g.nodes().filter(|&w| w != u && rt_row[w.index()] < r_to_landmarks).collect();
@@ -183,9 +189,9 @@ impl LandmarkBallScheme {
             members.truncate(ball_cap);
             if !members.is_empty() {
                 // Bounded Dijkstra: stop as soon as every ball member is
-                // settled instead of running to completion — the members are
-                // the only nodes read, and their first hops are bit-identical
-                // to a full run (see `dijkstra_to_targets`).
+                // settled instead of running to completion — the members
+                // are the only nodes read, and their first hops are
+                // bit-identical to a full run (see `dijkstra_to_targets`).
                 let sp = dijkstra_to_targets(g, u, &members);
                 for w in members {
                     // First hop of the shortest path u → w.
@@ -196,37 +202,89 @@ impl LandmarkBallScheme {
                 }
             }
             max_ball_size = max_ball_size.max(balls[u.index()].len());
+        });
+
+        // Pass 2 — keep only the landmarks some node actually routes through.
+        // Labels only ever name `ℓ(v)`, so samples that are nobody's nearest
+        // landmark would occupy a column of every node's table for nothing.
+        let mut used: Vec<u32> = nearest_sampled.clone();
+        used.sort_unstable();
+        used.dedup();
+        let mut remap = vec![u32::MAX; sampled.len()];
+        for (new, &old) in used.iter().enumerate() {
+            remap[old as usize] = new as u32;
         }
+        let landmarks: Vec<NodeId> = used.iter().map(|&i| sampled[i as usize]).collect();
+        let nearest_landmark: Vec<u32> =
+            nearest_sampled.iter().map(|&i| remap[i as usize]).collect();
+        let mut assigned: Vec<Vec<NodeId>> = vec![Vec::new(); landmarks.len()];
+        for u in g.nodes() {
+            assigned[nearest_landmark[u.index()] as usize].push(u);
+        }
+
+        // Pass 3 — per-landmark trees, consumed immediately: every node keeps
+        // its up-port toward the landmark; only the nodes on out-tree descent
+        // paths to the landmark's assigned destinations keep a tree record;
+        // each assigned destination interns its own address.  The trees and
+        // router are dropped at the end of each iteration — nothing of size
+        // `|L|·n` survives construction.
+        let mut up_ports: Vec<Vec<Option<Port>>> =
+            (0..n).map(|_| Vec::with_capacity(landmarks.len())).collect();
+        let mut descent: Vec<HashMap<u32, TreeNodeTable>> = vec![HashMap::new(); n];
+        let mut own_label: Vec<Option<Arc<TreeLabel>>> = vec![None; n];
+        for (li, &l) in landmarks.iter().enumerate() {
+            let out_tree = OutTree::shortest_paths(g, l);
+            let in_tree = InTree::shortest_paths(g, l);
+            let router = TreeRouter::build(&out_tree);
+            for v in g.nodes() {
+                up_ports[v.index()].push(in_tree.next_port(v));
+            }
+            for &v in &assigned[li] {
+                own_label[v.index()] =
+                    Some(Arc::clone(router.label(v).expect("out-tree spans all nodes")));
+                // Mark the descent path l → v: every out-tree ancestor stores
+                // its O(1)-word record; stop at the first already-marked node
+                // (its ancestors were marked by an earlier destination).
+                let mut cur = v;
+                loop {
+                    match descent[cur.index()].entry(li as u32) {
+                        Entry::Occupied(_) => break,
+                        Entry::Vacant(slot) => {
+                            slot.insert(*router.table(cur).expect("out-tree spans all nodes"));
+                        }
+                    }
+                    match out_tree.parent(cur) {
+                        Some(p) => cur = p,
+                        None => break,
+                    }
+                }
+            }
+        }
+        let own_label: Vec<Arc<TreeLabel>> =
+            own_label.into_iter().map(|l| l.expect("every node has a nearest landmark")).collect();
 
         let word = id_bits(n);
         // target + landmark index + tree label (O(log^2 n)) + phase.
         let max_label_bits = word
             + id_bits(landmarks.len())
-            + routers
-                .iter()
-                .map(|r| {
-                    (0..n)
-                        .map(|i| r.label(NodeId::from_index(i)).map_or(0, |l| l.bits(n)))
-                        .max()
-                        .unwrap_or(0)
-                })
-                .max()
-                .unwrap_or(0)
+            + own_label.iter().map(|l| l.bits(n)).max().unwrap_or(0)
             + 2;
 
         LandmarkBallScheme {
             n,
             landmarks,
-            records,
+            up_ports,
+            descent,
             balls,
             nearest_landmark,
-            routers,
+            own_label,
             max_label_bits,
             max_ball_size,
         }
     }
 
-    /// The sampled landmark set.
+    /// The landmark set (the sampled landmarks that are the nearest landmark
+    /// of at least one node — the only ones any label can name).
     pub fn landmarks(&self) -> &[NodeId] {
         &self.landmarks
     }
@@ -250,13 +308,10 @@ impl NameDependentSubstrate for LandmarkBallScheme {
     }
 
     fn label_for(&self, v: NodeId) -> LandmarkLabel {
-        let li = self.nearest_landmark[v.index()];
-        let tree_label =
-            self.routers[li as usize].label(v).expect("landmark out-tree spans all nodes").clone();
         LandmarkLabel {
             target: v,
-            landmark_index: li,
-            tree_label,
+            landmark_index: self.nearest_landmark[v.index()],
+            tree_label: Arc::clone(&self.own_label[v.index()]),
             phase: Phase::Direct,
             bits: self.max_label_bits,
         }
@@ -281,20 +336,23 @@ impl NameDependentSubstrate for LandmarkBallScheme {
             label.phase = Phase::ToLandmark;
         }
 
-        let record = &self.records[at.index()][li];
         if label.phase == Phase::ToLandmark {
             if at == self.landmarks[li] {
                 label.phase = Phase::DownTree;
             } else {
-                let port = record
-                    .up_port
+                let port = self.up_ports[at.index()][li]
                     .ok_or_else(|| RoutingError::new(at, "missing in-tree port toward landmark"))?;
                 return Ok(ForwardAction::Forward(port));
             }
         }
 
         // DownTree: descend the landmark's out-tree with the compact router.
-        match TreeRouter::step(&record.tree_table, &label.tree_label) {
+        // Descents only visit out-tree ancestors of the landmark's assigned
+        // destinations, which are exactly the nodes holding a record.
+        let table = self.descent[at.index()].get(&(li as u32)).ok_or_else(|| {
+            RoutingError::new(at, "node is not on any descent path of the label's landmark")
+        })?;
+        match TreeRouter::step(table, &label.tree_label) {
             TreeStep::Deliver => Ok(ForwardAction::Deliver),
             TreeStep::Forward(port) => Ok(ForwardAction::Forward(port)),
             TreeStep::NotInSubtree => {
@@ -305,12 +363,15 @@ impl NameDependentSubstrate for LandmarkBallScheme {
 
     fn table_stats(&self, v: NodeId) -> TableStats {
         let word = id_bits(self.n);
-        let landmark_entries = self.records[v.index()].len();
+        let landmark_entries = self.up_ports[v.index()].len();
+        let descent_entries = self.descent[v.index()].len();
         let ball_entries = self.balls[v.index()].len();
-        // Per landmark: up-port + O(1)-word tree record (3 words); per ball
-        // entry: destination + port.
-        let bits = landmark_entries * (word + 3 * word) + ball_entries * 2 * word + word;
-        TableStats { entries: landmark_entries + ball_entries, bits }
+        // Per landmark: one up-port word; per descent record: landmark index
+        // + O(1)-word tree record (3 words); per ball entry: destination +
+        // port; plus the node's own nearest-landmark id.
+        let bits =
+            landmark_entries * word + descent_entries * 4 * word + ball_entries * 2 * word + word;
+        TableStats { entries: landmark_entries + descent_entries + ball_entries, bits }
     }
 
     fn max_label_bits(&self) -> usize {
@@ -486,6 +547,30 @@ mod tests {
             }
             assert!(checked > 0, "seed {seed}: no ball entries exercised");
         }
+    }
+
+    #[test]
+    fn descent_records_are_sparse_and_every_landmark_is_used() {
+        let (g, _m, s) = build(100, 15);
+        let n = g.node_count();
+        // Every kept landmark is the nearest landmark of at least one node.
+        let mut used = vec![false; s.landmarks().len()];
+        for v in g.nodes() {
+            used[s.nearest_landmark[v.index()] as usize] = true;
+        }
+        assert!(used.iter().all(|&u| u), "a retained landmark is nobody's nearest");
+        // Every node is the endpoint of its own descent path.
+        for v in g.nodes() {
+            assert!(s.descent[v.index()].contains_key(&s.nearest_landmark[v.index()]));
+        }
+        // The retired layout stored n·|L| tree records; the descent sets
+        // cover only the out-tree paths to assigned destinations.
+        let total_descent: usize = g.nodes().map(|v| s.descent[v.index()].len()).sum();
+        assert!(
+            total_descent < n * s.landmarks().len() / 2,
+            "descent sets not sparse: {total_descent} records for {} landmarks",
+            s.landmarks().len()
+        );
     }
 
     #[test]

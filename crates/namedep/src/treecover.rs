@@ -16,11 +16,13 @@
 
 use crate::substrate::{LabelBits, NameDependentSubstrate};
 use rtr_cover::{DoubleTreeCover, TreeId};
-use rtr_graph::{DiGraph, NodeId, Port};
+use rtr_graph::types::saturating_dist_add;
+use rtr_graph::{DiGraph, Distance, NodeId, Port};
 use rtr_metric::DistanceOracle;
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
 use rtr_trees::{TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-node record for one double tree the node belongs to.
 #[derive(Debug, Clone)]
@@ -29,10 +31,20 @@ struct TreeRecord {
     out_table: TreeNodeTable,
     /// Out-port of the first edge toward the tree's center (`None` at the center).
     up_port: Option<Port>,
+    /// Roundtrip distance through the tree's center, `d_T(v, c) + d_T(c, v)`.
+    /// The handshake cost of a pair inside one tree is the sum of the two
+    /// endpoints' values, which is what lets `pair_label` pick the cheapest
+    /// common tree from per-node state alone.
+    rt_cost: Distance,
 }
 
 /// The `R2`-style label: which double tree to use and the destination's
 /// address inside it.
+///
+/// The tree address is shared behind an [`Arc`]: cloning a label (into a
+/// scheme dictionary entry or a packet header) bumps a refcount instead of
+/// copying the light-hop vector, so a popular destination's address is stored
+/// once no matter how many tables reference it.
 #[derive(Debug, Clone)]
 pub struct TreeCoverLabel {
     /// The destination node.
@@ -40,7 +52,7 @@ pub struct TreeCoverLabel {
     /// The double tree the route stays inside.
     pub tree: TreeId,
     /// The destination's compact address in that tree's out-component.
-    pub tree_label: TreeLabel,
+    pub tree_label: Arc<TreeLabel>,
     bits: usize,
 }
 
@@ -59,15 +71,14 @@ pub struct TreeCoverScheme {
     max_trees_per_level: usize,
     /// `records[v]`: tree id → this node's record for that tree.
     records: Vec<HashMap<TreeId, TreeRecord>>,
+    /// `memberships[v]`: every tree containing `v`, sorted by `(level,
+    /// index)` — the scan list of the on-demand handshake.
+    memberships: Vec<Vec<TreeId>>,
     /// Per-tree routers, used only at build/label time to mint labels.
     routers: HashMap<TreeId, TreeRouter>,
     /// Home tree per (node, level) — the tree guaranteed to span the node's
     /// scale-2^level roundtrip ball.
     home: Vec<Vec<TreeId>>,
-    /// Pre-computed cheapest common tree per ordered pair (the handshake of
-    /// §3.2/Lemma 5); `None` entries are filled lazily from the top-level
-    /// home tree, which always works.
-    handshake: HashMap<(NodeId, NodeId), TreeId>,
     max_label_bits: usize,
 }
 
@@ -92,6 +103,7 @@ impl TreeCoverScheme {
     ) -> Self {
         let n = g.node_count();
         let mut records: Vec<HashMap<TreeId, TreeRecord>> = vec![HashMap::new(); n];
+        let mut memberships: Vec<Vec<TreeId>> = vec![Vec::new(); n];
         let mut routers: HashMap<TreeId, TreeRouter> = HashMap::new();
         let mut max_trees_per_level = 0usize;
 
@@ -105,7 +117,11 @@ impl TreeCoverScheme {
                         .table(v)
                         .expect("double-tree members are spanned by the out component");
                     let up_port = tree.in_tree().next_port(v);
-                    records[v.index()].insert(id, TreeRecord { out_table, up_port });
+                    let rt_cost = tree.roundtrip_through_root(v);
+                    records[v.index()].insert(id, TreeRecord { out_table, up_port, rt_cost });
+                    // Levels and tree indices are visited in ascending order,
+                    // so the membership list comes out sorted.
+                    memberships[v.index()].push(id);
                 }
                 routers.insert(id, level.routers[ti].clone());
             }
@@ -119,27 +135,8 @@ impl TreeCoverScheme {
             })
             .collect();
 
-        // Handshakes: cheapest common tree per ordered pair.
-        let mut handshake = HashMap::with_capacity(n * n);
-        for u in g.nodes() {
-            for v in g.nodes() {
-                if u == v {
-                    continue;
-                }
-                let (id, _) = cover
-                    .best_common_tree(u, v)
-                    .expect("top-level home tree always contains both endpoints");
-                handshake.insert((u, v), id);
-            }
-        }
-
         let word = id_bits(n);
-        let max_tree_label_bits = routers
-            .values()
-            .flat_map(|r| (0..n).filter_map(|i| r.label(NodeId::from_index(i))))
-            .map(|l| l.bits(n))
-            .max()
-            .unwrap_or(0);
+        let max_tree_label_bits = routers.values().map(|r| r.max_label_bits(n)).max().unwrap_or(0);
         let max_label_bits =
             word + TreeId::bits(cover.level_count(), max_trees_per_level) + max_tree_label_bits;
 
@@ -150,11 +147,51 @@ impl TreeCoverScheme {
             level_count: cover.level_count(),
             max_trees_per_level,
             records,
+            memberships,
             routers,
             home,
-            handshake,
             max_label_bits,
         }
+    }
+
+    /// The cheapest common tree of an ordered pair — the handshake of
+    /// §3.2/Lemma 5, computed **on demand** from the two endpoints' compact
+    /// per-node state instead of a precomputed Θ(n²) side table.
+    ///
+    /// Scans the smaller of the two membership lists (Õ(k·n^{1/k}·log RTDiam)
+    /// entries) in `(level, index)` order, probing the other endpoint's record
+    /// map per candidate; the selection rule — strict cost minimum, scan
+    /// continued through one level past the current best — reproduces
+    /// [`DoubleTreeCover::best_common_tree`] decision for decision, so the
+    /// answers are bit-identical to the retired precomputed table (the
+    /// substrate's property tests assert this against the cover).
+    fn cheapest_common_tree(&self, u: NodeId, v: NodeId) -> TreeId {
+        let (scan, other) =
+            if self.memberships[u.index()].len() <= self.memberships[v.index()].len() {
+                (u, v)
+            } else {
+                (v, u)
+            };
+        let scan_records = &self.records[scan.index()];
+        let other_records = &self.records[other.index()];
+        let mut best: Option<(TreeId, Distance)> = None;
+        for &id in &self.memberships[scan.index()] {
+            if let Some((bid, _)) = best {
+                // The level-ordered scan never needs to look more than one
+                // level past the cheapest tree found so far (height bounds
+                // grow with the scale; one extra level smooths out
+                // seed-choice noise — same rule as the cover's own search).
+                if (id.level as u32) >= (bid.level as u32) + 2 {
+                    break;
+                }
+            }
+            let Some(other_rec) = other_records.get(&id) else { continue };
+            let cost = saturating_dist_add(scan_records[&id].rt_cost, other_rec.rt_cost);
+            if best.is_none_or(|(_, c)| cost < c) {
+                best = Some((id, cost));
+            }
+        }
+        best.expect("top-level home tree always contains both endpoints").0
     }
 
     /// The cover's sparseness parameter `k_c`.
@@ -206,7 +243,7 @@ impl NameDependentSubstrate for TreeCoverScheme {
         if from == to {
             return self.label_for(to);
         }
-        let id = self.handshake[&(from, to)];
+        let id = self.cheapest_common_tree(from, to);
         self.label_in_tree(id, to).expect("handshake tree contains the destination")
     }
 
@@ -234,9 +271,10 @@ impl NameDependentSubstrate for TreeCoverScheme {
         let word = id_bits(self.n);
         let tree_id_bits = TreeId::bits(self.level_count, self.max_trees_per_level);
         let memberships = self.records[v.index()].len();
-        // Per membership: tree id + 3-word out record + up port; plus one home
-        // tree id per level.
-        let bits = memberships * (tree_id_bits + 3 * word + word) + self.level_count * tree_id_bits;
+        // Per membership: tree id + 3-word out record + up port + handshake
+        // cost word; plus one home tree id per level.
+        let bits =
+            memberships * (tree_id_bits + 3 * word + 2 * word) + self.level_count * tree_id_bits;
         TableStats { entries: memberships + self.level_count, bits }
     }
 
@@ -362,6 +400,41 @@ mod tests {
                 let (_, out) = drive(&g, &s, u, s.pair_label(u, v));
                 let (_, back) = drive(&g, &s, v, s.pair_label(v, u));
                 assert!(((out + back) as f64 / m.roundtrip(u, v) as f64) <= bound + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_pair_labels_match_the_precomputed_handshake() {
+        // PR 2 precomputed the cheapest common tree for every ordered pair
+        // into a Θ(n²) side table filled from `cover.best_common_tree`; the
+        // on-demand scan must reproduce that table entry for entry, and the
+        // routed packets must traverse the same hop sequences.
+        for (n, seed, k) in [(40usize, 21u64, 2u32), (36, 22, 3), (48, 23, 2)] {
+            let g = strongly_connected_gnp(n, 0.1, seed).unwrap();
+            let m = DistanceMatrix::build(&g);
+            let cover = rtr_cover::DoubleTreeCover::build(&g, &m, k);
+            let s = TreeCoverScheme::from_cover(&g, &m, &cover);
+            for u in g.nodes() {
+                for v in g.nodes() {
+                    if u == v {
+                        continue;
+                    }
+                    let (id, _) = cover.best_common_tree(u, v).expect("common tree exists");
+                    let label = s.pair_label(u, v);
+                    assert_eq!(label.tree, id, "pair ({u},{v}) picked a different tree");
+                    assert_eq!(
+                        &label.tree_label,
+                        cover.router(id).label(v).expect("destination is a member"),
+                        "pair ({u},{v}) minted a different tree address"
+                    );
+                    let reference = s.label_in_tree(id, v).expect("handshake tree contains v");
+                    let (want_path, want_w) = drive(&g, &s, u, reference);
+                    let (path, w) = drive(&g, &s, u, label);
+                    assert_eq!(path, want_path, "pair ({u},{v}) routed differently");
+                    assert_eq!(w, want_w);
+                    assert_eq!(*path.last().unwrap(), v);
+                }
             }
         }
     }

@@ -24,6 +24,7 @@
 use crate::sptree::OutTree;
 use rtr_graph::{NodeId, Port};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-node routing state for one tree: a constant number of words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,11 +80,17 @@ pub enum TreeStep {
 
 /// The tree-routing scheme for a single [`OutTree`]: per-node tables plus
 /// per-destination labels (Lemma 14).
+///
+/// Labels are interned behind [`Arc`]: a member's address is minted once here
+/// and every consumer (substrate records, scheme dictionary entries, packet
+/// headers) shares the same allocation instead of cloning the light-hop
+/// vector, so a label referenced from thousands of dictionary entries costs
+/// one `TreeLabel` plus refcounts.
 #[derive(Debug, Clone)]
 pub struct TreeRouter {
     root: NodeId,
     tables: HashMap<NodeId, TreeNodeTable>,
-    labels: HashMap<NodeId, TreeLabel>,
+    labels: HashMap<NodeId, Arc<TreeLabel>>,
     max_light_depth: usize,
 }
 
@@ -187,7 +194,7 @@ impl TreeRouter {
             }
             light_hops.reverse();
             max_light_depth = max_light_depth.max(light_hops.len());
-            labels.insert(v, TreeLabel { target_dfs: dfs_start[&v], light_hops });
+            labels.insert(v, Arc::new(TreeLabel { target_dfs: dfs_start[&v], light_hops }));
         }
 
         TreeRouter { root, tables, labels, max_light_depth }
@@ -203,9 +210,16 @@ impl TreeRouter {
         self.tables.get(&v)
     }
 
-    /// The routing label (address) of member `v`.
-    pub fn label(&self, v: NodeId) -> Option<&TreeLabel> {
+    /// The routing label (address) of member `v`, shared behind an [`Arc`]
+    /// (clone it to store the address without copying the light-hop vector).
+    pub fn label(&self, v: NodeId) -> Option<&Arc<TreeLabel>> {
         self.labels.get(&v)
+    }
+
+    /// The largest label (in bits, under the `⌈log₂ n⌉`-word convention) this
+    /// router hands out — one pass over the minted labels, no per-node probing.
+    pub fn max_label_bits(&self, n: usize) -> usize {
+        self.labels.values().map(|l| l.bits(n)).max().unwrap_or(0)
     }
 
     /// Maximum number of light-edge entries in any label (≤ ⌊log₂ n⌋).
