@@ -1,0 +1,506 @@
+//! The `BENCH_serve.json` performance-baseline artifact.
+//!
+//! `serve_throughput` writes one of these per run; CI regenerates it at the
+//! n = 600 smoke configuration and diffs it against the checked-in seed
+//! baseline (`ci/BENCH_serve.json`) with [`compare`].  Table bytes, stretch
+//! and oracle-row counts are deterministic given the seeds, so regressions
+//! there **hard-fail**; queries/sec depends on the host and only warns.
+//!
+//! Serialization is hand-rolled (the build environment vendors no serde),
+//! mirroring `rtr_graph::io`.
+
+use std::fmt::Write as _;
+
+/// Build-time and per-scheme serving numbers of one `serve_throughput` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBaseline {
+    /// Node count of the run.
+    pub n: usize,
+    /// Requests served per workload.
+    pub queries_per_workload: usize,
+    /// RNG seed of the run (graph, naming, workloads).
+    pub seed: u64,
+    /// Stretch samples per serve run (`RTR_SAMPLES`) — changes the sampled
+    /// pairs and hence the worst sampled stretch.
+    pub stretch_samples: usize,
+    /// Lazy-oracle row-cache capacity (`RTR_CACHE`) — changes both the row
+    /// count (prefetch clamp) and the peak resident rows.
+    pub cache_rows: usize,
+    /// Oracle rows (Dijkstras) computed by the **suite build** alone.
+    pub build_rows_computed: usize,
+    /// Peak resident oracle rows over the whole run (build + serving).
+    pub peak_resident_rows: usize,
+    /// Per-scheme aggregates, in serving order.
+    pub schemes: Vec<SchemeBaseline>,
+}
+
+/// One scheme's aggregate numbers across all workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeBaseline {
+    /// Scheme name (`stretch6` / `exstretch` / `polystretch`).
+    pub scheme: String,
+    /// Total routing-table footprint over all nodes, in bytes.
+    pub table_bytes: u64,
+    /// Largest single-node table, in bits.
+    pub worst_node_bits: u64,
+    /// Worst exact stretch over every workload's strided sample.
+    pub worst_sampled_stretch: f64,
+    /// Lowest queries/sec over the workloads (host-dependent; warn-only).
+    pub min_queries_per_sec: f64,
+}
+
+impl ServeBaseline {
+    /// Renders the artifact as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"n\": {},", self.n);
+        let _ = writeln!(out, "  \"queries_per_workload\": {},", self.queries_per_workload);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"stretch_samples\": {},", self.stretch_samples);
+        let _ = writeln!(out, "  \"cache_rows\": {},", self.cache_rows);
+        let _ = writeln!(out, "  \"build_rows_computed\": {},", self.build_rows_computed);
+        let _ = writeln!(out, "  \"peak_resident_rows\": {},", self.peak_resident_rows);
+        out.push_str("  \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"scheme\": \"{}\", \"table_bytes\": {}, \"worst_node_bits\": {}, \
+                 \"worst_sampled_stretch\": {:.6}, \"min_queries_per_sec\": {:.1}}}",
+                s.scheme,
+                s.table_bytes,
+                s.worst_node_bits,
+                s.worst_sampled_stretch,
+                s.min_queries_per_sec
+            );
+            out.push_str(if i + 1 < self.schemes.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses an artifact previously written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(text)?;
+        let schemes = value
+            .field("schemes")?
+            .as_array()?
+            .iter()
+            .map(|s| {
+                Ok(SchemeBaseline {
+                    scheme: s.field("scheme")?.as_string()?,
+                    table_bytes: s.field("table_bytes")?.as_u64()?,
+                    worst_node_bits: s.field("worst_node_bits")?.as_u64()?,
+                    worst_sampled_stretch: s.field("worst_sampled_stretch")?.as_f64()?,
+                    min_queries_per_sec: s.field("min_queries_per_sec")?.as_f64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ServeBaseline {
+            n: value.field("n")?.as_u64()? as usize,
+            queries_per_workload: value.field("queries_per_workload")?.as_u64()? as usize,
+            seed: value.field("seed")?.as_u64()?,
+            stretch_samples: value.field("stretch_samples")?.as_u64()? as usize,
+            cache_rows: value.field("cache_rows")?.as_u64()? as usize,
+            build_rows_computed: value.field("build_rows_computed")?.as_u64()? as usize,
+            peak_resident_rows: value.field("peak_resident_rows")?.as_u64()? as usize,
+            schemes,
+        })
+    }
+}
+
+/// Relative slack on the deterministic quantities (table bytes, stretch): a
+/// current value above `baseline · (1 + SLACK)` is a hard failure.  The
+/// numbers are bit-reproducible given the seeds, so the slack only absorbs
+/// float formatting; anything beyond it is a real regression.
+pub const DETERMINISTIC_SLACK: f64 = 0.02;
+
+/// Relative slack on the suite-build oracle-row count.  Rows are within a
+/// handful of deterministic across runs (concurrent connectivity probes can
+/// race a duplicate Dijkstra), so the tolerance is wider, but a 10% jump
+/// means a sweep stopped being shared.
+pub const ROWS_SLACK: f64 = 0.10;
+
+/// Throughput warn threshold: warn when a scheme's minimum queries/sec drops
+/// below half the baseline.  Host-dependent — never a hard failure.
+pub const THROUGHPUT_WARN_FRACTION: f64 = 0.5;
+
+/// Diffs a current run against the checked-in baseline.
+///
+/// Returns `(failures, warnings)`: failures are regressions CI must fail on
+/// (table bytes, stretch, oracle rows, schema mismatches), warnings are
+/// host-dependent observations (throughput).
+pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    // Every knob that changes a gated (deterministic) number must match, or
+    // the diff compares incompatible runs.
+    let config =
+        |b: &ServeBaseline| (b.n, b.queries_per_workload, b.seed, b.stretch_samples, b.cache_rows);
+    if config(baseline) != config(current) {
+        failures.push(format!(
+            "configuration mismatch: baseline is (n, queries, seed, samples, cache) = {:?}, \
+             current is {:?} (regenerate the baseline, see README)",
+            config(baseline),
+            config(current)
+        ));
+        return (failures, warnings);
+    }
+    let rows_limit = baseline.build_rows_computed as f64 * (1.0 + ROWS_SLACK);
+    if (current.build_rows_computed as f64) > rows_limit {
+        failures.push(format!(
+            "suite build computed {} oracle rows, baseline {} (+{:.0}% > {:.0}% slack) — \
+             a row sweep is no longer shared",
+            current.build_rows_computed,
+            baseline.build_rows_computed,
+            100.0
+                * (current.build_rows_computed as f64 / baseline.build_rows_computed as f64 - 1.0),
+            100.0 * ROWS_SLACK
+        ));
+    } else if current.build_rows_computed * 2 <= baseline.build_rows_computed {
+        warnings.push(format!(
+            "suite build rows improved {} → {}; consider refreshing the baseline",
+            baseline.build_rows_computed, current.build_rows_computed
+        ));
+    }
+    if current.peak_resident_rows > baseline.peak_resident_rows * 2 {
+        failures.push(format!(
+            "peak resident oracle rows {} more than doubled the baseline {}",
+            current.peak_resident_rows, baseline.peak_resident_rows
+        ));
+    }
+    for want in &baseline.schemes {
+        let Some(got) = current.schemes.iter().find(|s| s.scheme == want.scheme) else {
+            failures.push(format!("scheme {} missing from the current run", want.scheme));
+            continue;
+        };
+        let byte_limit = want.table_bytes as f64 * (1.0 + DETERMINISTIC_SLACK);
+        if got.table_bytes as f64 > byte_limit {
+            failures.push(format!(
+                "{}: table bytes regressed {} → {}",
+                want.scheme, want.table_bytes, got.table_bytes
+            ));
+        }
+        let bits_limit = want.worst_node_bits as f64 * (1.0 + DETERMINISTIC_SLACK);
+        if got.worst_node_bits as f64 > bits_limit {
+            failures.push(format!(
+                "{}: worst-node table bits regressed {} → {}",
+                want.scheme, want.worst_node_bits, got.worst_node_bits
+            ));
+        }
+        let stretch_limit = want.worst_sampled_stretch * (1.0 + DETERMINISTIC_SLACK);
+        if got.worst_sampled_stretch > stretch_limit {
+            failures.push(format!(
+                "{}: worst sampled stretch regressed {:.3} → {:.3}",
+                want.scheme, want.worst_sampled_stretch, got.worst_sampled_stretch
+            ));
+        }
+        if got.min_queries_per_sec < want.min_queries_per_sec * THROUGHPUT_WARN_FRACTION {
+            warnings.push(format!(
+                "{}: throughput dropped {:.0} → {:.0} queries/s (host-dependent, not gating)",
+                want.scheme, want.min_queries_per_sec, got.min_queries_per_sec
+            ));
+        }
+    }
+    // Symmetric check: a scheme served by the current run but absent from
+    // the baseline would otherwise pass CI completely ungated.
+    for got in &current.schemes {
+        if !baseline.schemes.iter().any(|s| s.scheme == got.scheme) {
+            failures.push(format!(
+                "scheme {} is not in the baseline — regenerate ci/BENCH_serve.json to gate it",
+                got.scheme
+            ));
+        }
+    }
+    (failures, warnings)
+}
+
+/// A minimal JSON value: just enough structure for the baseline artifact.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser { bytes: text.as_bytes(), at: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.at));
+        }
+        Ok(v)
+    }
+
+    fn field(&self, key: &str) -> Result<&JsonValue, String> {
+        match self {
+            JsonValue::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field \"{key}\"")),
+            other => Err(format!("expected an object, found {other:?}")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[JsonValue], String> {
+        match self {
+            JsonValue::Array(items) => Ok(items),
+            other => Err(format!("expected an array, found {other:?}")),
+        }
+    }
+
+    fn as_string(&self) -> Result<String, String> {
+        match self {
+            JsonValue::String(s) => Ok(s.clone()),
+            other => Err(format!("expected a string, found {other:?}")),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, String> {
+        match self {
+            JsonValue::Number(x) => Ok(*x),
+            other => Err(format!("expected a number, found {other:?}")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        let x = self.as_f64()?;
+        if x < 0.0 || x.fract() != 0.0 {
+            return Err(format!("expected a non-negative integer, found {x}"));
+        }
+        Ok(x as u64)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.at < self.bytes.len() && self.bytes[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != c {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                c as char, self.at, got as char
+            ));
+        }
+        self.at += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.at += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                other => return Err(format!("expected ',' or '}}', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.at += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                other => return Err(format!("expected ',' or ']', found '{}'", other as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.at;
+        while self.at < self.bytes.len() && self.bytes[self.at] != b'"' {
+            if self.bytes[self.at] == b'\\' {
+                return Err("escape sequences are not supported".to_string());
+            }
+            self.at += 1;
+        }
+        if self.at == self.bytes.len() {
+            return Err("unterminated string".to_string());
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        self.at += 1;
+        Ok(s)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.at;
+        while self.at < self.bytes.len()
+            && matches!(self.bytes[self.at], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("malformed number '{text}' at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeBaseline {
+        ServeBaseline {
+            n: 600,
+            queries_per_workload: 20_000,
+            seed: 42,
+            stretch_samples: 2000,
+            cache_rows: 16,
+            build_rows_computed: 2442,
+            peak_resident_rows: 16,
+            schemes: vec![
+                SchemeBaseline {
+                    scheme: "stretch6".into(),
+                    table_bytes: 2_000_000,
+                    worst_node_bits: 51_000,
+                    worst_sampled_stretch: 3.806,
+                    min_queries_per_sec: 650_000.0,
+                },
+                SchemeBaseline {
+                    scheme: "exstretch".into(),
+                    table_bytes: 2_600_000,
+                    worst_node_bits: 63_000,
+                    worst_sampled_stretch: 9.576,
+                    min_queries_per_sec: 300_000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless_enough_to_compare_clean() {
+        let b = sample();
+        let parsed = ServeBaseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed.n, b.n);
+        assert_eq!(parsed.build_rows_computed, b.build_rows_computed);
+        assert_eq!(parsed.schemes.len(), 2);
+        let (failures, warnings) = compare(&b, &parsed);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn regressions_fail_and_throughput_only_warns() {
+        let base = sample();
+        let mut cur = sample();
+        cur.schemes[0].table_bytes = (base.schemes[0].table_bytes as f64 * 1.05) as u64;
+        cur.schemes[1].worst_sampled_stretch = base.schemes[1].worst_sampled_stretch * 1.2;
+        cur.schemes[0].min_queries_per_sec = 1000.0;
+        cur.build_rows_computed = base.build_rows_computed * 2;
+        let (failures, warnings) = compare(&base, &cur);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("table bytes")));
+        assert!(failures.iter().any(|f| f.contains("stretch")));
+        assert!(failures.iter().any(|f| f.contains("oracle rows")));
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("throughput"));
+    }
+
+    #[test]
+    fn small_drift_inside_tolerance_passes() {
+        let base = sample();
+        let mut cur = sample();
+        cur.build_rows_computed += 4; // concurrent connectivity-probe race
+        cur.schemes[0].table_bytes += 1;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn configuration_mismatch_is_a_hard_failure() {
+        for mutate in [
+            (|b: &mut ServeBaseline| b.n = 20_000) as fn(&mut ServeBaseline),
+            |b| b.seed = 7,
+            |b| b.stretch_samples = 500,
+            |b| b.cache_rows = 400,
+        ] {
+            let base = sample();
+            let mut cur = sample();
+            mutate(&mut cur);
+            let (failures, _) = compare(&base, &cur);
+            assert!(failures[0].contains("configuration mismatch"), "{failures:?}");
+        }
+    }
+
+    #[test]
+    fn missing_scheme_is_a_hard_failure_in_both_directions() {
+        let base = sample();
+        let mut cur = sample();
+        cur.schemes.pop();
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("missing")));
+
+        // A scheme the baseline does not know about must not pass ungated.
+        let mut base = sample();
+        base.schemes.pop();
+        let cur = sample();
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("not in the baseline")), "{failures:?}");
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_with_context() {
+        assert!(ServeBaseline::from_json("{").is_err());
+        assert!(ServeBaseline::from_json("{}").unwrap_err().contains("missing field"));
+        assert!(ServeBaseline::from_json("{\"n\": -1}").is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! CI gate: diff a fresh `BENCH_serve.json` (written by `serve_throughput`)
+//! against the checked-in seed baseline.
+//!
+//! Usage: `check_serve_baseline <baseline.json> <current.json>`
+//!
+//! Exits non-zero when a gated quantity regressed beyond tolerance — scheme
+//! table bytes, worst-node table bits, worst sampled stretch (all
+//! deterministic given the run's seeds), or the suite-build oracle-row count
+//! (the shared-sweep budget).  Throughput differences only warn: queries/sec
+//! is a property of the host, not of the code alone.
+//!
+//! To update the baseline **intentionally** (a change that is supposed to
+//! shrink tables or rows, or a new scheme), regenerate it with the CI smoke
+//! parameters and commit the new file — the exact command is in the README's
+//! "Performance baseline" section.
+
+use rtr_bench::baseline::{compare, ServeBaseline};
+
+fn load(path: &str) -> ServeBaseline {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("FAIL: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    ServeBaseline::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("FAIL: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: check_serve_baseline <baseline.json> <current.json>");
+        std::process::exit(2);
+    }
+    let baseline = load(&args[1]);
+    let current = load(&args[2]);
+    let (failures, warnings) = compare(&baseline, &current);
+    for w in &warnings {
+        println!("WARN: {w}");
+    }
+    if failures.is_empty() {
+        println!(
+            "baseline ok: n = {}, build rows {} (baseline {}), {} schemes gated",
+            current.n,
+            current.build_rows_computed,
+            baseline.build_rows_computed,
+            baseline.schemes.len()
+        );
+        return;
+    }
+    for f in &failures {
+        eprintln!("FAIL: {f}");
+    }
+    std::process::exit(1);
+}

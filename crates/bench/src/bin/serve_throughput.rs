@@ -21,13 +21,22 @@
 //! roundtrip rows (cheap under Zipf/hotspot skew; bounded by the sample size
 //! under uniform load).
 //!
+//! The run's headline numbers are also written as a machine-readable
+//! [`ServeBaseline`] artifact (`BENCH_serve.json`), which CI diffs against
+//! the checked-in seed baseline `ci/BENCH_serve.json` — see the
+//! `check_serve_baseline` binary and the README's baseline-workflow section.
+//!
 //! Environment: `RTR_N` (default 10 000 — CI smoke and local large-n runs
 //! share this binary by overriding it), `RTR_QUERIES` per workload (default
 //! 200 000), `RTR_WORKERS` (default: available parallelism), `RTR_CACHE`
 //! lazy-oracle rows (default `n/50`), `RTR_SAMPLES` stretch samples per run
-//! (default 2 000), `RTR_SEED` (default 42).
+//! (default 2 000), `RTR_SEED` (default 42), `RTR_BENCH_JSON` artifact path
+//! (default `BENCH_serve.json`), `RTR_MAX_BUILD_ROW_FACTOR` — when set, the
+//! run **fails** if the suite build computed more than `factor · n` oracle
+//! rows (the CI guard for the shared-sweep row budget).
 
 use rtr_bench::banner;
+use rtr_bench::baseline::{SchemeBaseline, ServeBaseline};
 use rtr_core::naming::NamingAssignment;
 use rtr_core::{SparseSchemeSuite, SparseSuiteParams};
 use rtr_engine::{Engine, EngineConfig, FrozenPlane, Workload};
@@ -45,8 +54,9 @@ fn env_usize(key: &str, default: usize) -> usize {
 /// Sums every node's [`rtr_sim::TableStats`] and prints the scheme's resident
 /// footprint against the `n²` baseline — the 64-bit distance words a dense
 /// all-pairs structure (the distance matrix, or the retired handshake side
-/// table) would pin.
-fn report_tables<S: RoundtripRouting>(plane: &FrozenPlane<S>) {
+/// table) would pin.  Returns `(total bytes, worst-node bits)` for the
+/// baseline artifact.
+fn report_tables<S: RoundtripRouting>(plane: &FrozenPlane<S>) -> (u64, u64) {
     let n = plane.node_count();
     let mut total_entries: u128 = 0;
     let mut total_bits: u128 = 0;
@@ -65,6 +75,7 @@ fn report_tables<S: RoundtripRouting>(plane: &FrozenPlane<S>) {
         100.0 * total_bits as f64 / dense_bits as f64,
         max_node_bits as f64 / (8.0 * 1024.0),
     );
+    ((total_bits / 8) as u64, max_node_bits as u64)
 }
 
 fn serve_all<S>(
@@ -73,7 +84,8 @@ fn serve_all<S>(
     m: &LazyDijkstraOracle<'_>,
     queries: usize,
     seed: u64,
-) where
+) -> SchemeBaseline
+where
     S: RoundtripRouting + Send + Sync,
 {
     println!(
@@ -85,6 +97,8 @@ fn serve_all<S>(
         "stretch p50/p95/p99",
         "max-str"
     );
+    let mut worst_stretch: f64 = 0.0;
+    let mut min_qps = f64::INFINITY;
     for workload in Workload::ALL {
         let requests = workload.generate(plane.node_count(), queries, seed);
         let summary = engine
@@ -93,6 +107,8 @@ fn serve_all<S>(
         assert_eq!(summary.queries, queries);
         let (h50, h95, h99) = summary.hop_latency();
         let stretch = summary.stretch_summary(m).expect("strided sample is never empty");
+        worst_stretch = worst_stretch.max(stretch.max);
+        min_qps = min_qps.min(summary.queries_per_sec());
         println!(
             "  {:<12} {:>10.0} {:>9.2} {:>14} {:>22} {:>7.3}",
             workload.name(),
@@ -103,13 +119,20 @@ fn serve_all<S>(
             stretch.max,
         );
     }
-    report_tables(plane);
+    let (table_bytes, worst_node_bits) = report_tables(plane);
     let stats = m.stats();
     println!(
         "  oracle after serving: peak resident rows {} ({:.2}% of n)",
         stats.peak_resident_rows,
         100.0 * stats.peak_resident_rows as f64 / plane.node_count() as f64
     );
+    SchemeBaseline {
+        scheme: plane.scheme_name().to_string(),
+        table_bytes,
+        worst_node_bits,
+        worst_sampled_stretch: worst_stretch,
+        min_queries_per_sec: min_qps,
+    }
 }
 
 fn main() {
@@ -137,13 +160,27 @@ fn main() {
     let suite = SparseSchemeSuite::build(&g, &oracle, &names, SparseSuiteParams::default());
     let build_stats = oracle.stats();
     println!(
-        "sparse suite built in {:.1?} (rows computed {}, peak resident {} of {} = {:.1}% of n²)",
+        "sparse suite built in {:.1?} (rows computed {} = {:.2}·n, peak resident {} of {} = {:.1}% of n²)",
         t1.elapsed(),
         build_stats.rows_computed,
+        build_stats.rows_computed as f64 / n as f64,
         build_stats.peak_resident_rows,
         n,
         100.0 * build_stats.peak_resident_rows as f64 / n as f64
     );
+    if let Ok(factor) = std::env::var("RTR_MAX_BUILD_ROW_FACTOR") {
+        let factor: f64 = factor.parse().expect("RTR_MAX_BUILD_ROW_FACTOR must be a number");
+        let limit = (factor * n as f64).ceil() as usize;
+        if build_stats.rows_computed > limit {
+            eprintln!(
+                "FAIL: suite build computed {} oracle rows, budget is {factor}·n = {limit} — \
+                 the shared sweep is no longer shared",
+                build_stats.rows_computed
+            );
+            std::process::exit(1);
+        }
+        println!("build row budget ok: {} <= {factor}·n = {limit}", build_stats.rows_computed);
+    }
 
     let (stretch6, exstretch, poly) = suite.into_parts();
     let frozen_names = Arc::new(names.to_names());
@@ -156,9 +193,11 @@ fn main() {
     let engine = Engine::new(config);
 
     banner("serving");
-    serve_all(&plane6, &engine, &oracle, queries, seed ^ 0x6001);
-    serve_all(&planex, &engine, &oracle, queries, seed ^ 0x6002);
-    serve_all(&planep, &engine, &oracle, queries, seed ^ 0x6003);
+    let schemes = vec![
+        serve_all(&plane6, &engine, &oracle, queries, seed ^ 0x6001),
+        serve_all(&planex, &engine, &oracle, queries, seed ^ 0x6002),
+        serve_all(&planep, &engine, &oracle, queries, seed ^ 0x6003),
+    ];
 
     let stats = oracle.stats();
     banner("oracle");
@@ -170,4 +209,20 @@ fn main() {
         100.0 * stats.peak_resident_rows as f64 / n as f64
     );
     println!("total wall-clock: {:.1?}", t0.elapsed());
+
+    let artifact = ServeBaseline {
+        n,
+        queries_per_workload: queries,
+        seed,
+        stretch_samples: samples,
+        cache_rows,
+        build_rows_computed: build_stats.rows_computed,
+        peak_resident_rows: stats.peak_resident_rows,
+        schemes,
+    };
+    let json_path =
+        std::env::var("RTR_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    std::fs::write(&json_path, artifact.to_json())
+        .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
+    println!("baseline artifact written to {json_path}");
 }

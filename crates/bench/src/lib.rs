@@ -23,6 +23,8 @@ use rtr_graph::generators::Family;
 use rtr_graph::DiGraph;
 use rtr_metric::DistanceMatrix;
 
+pub mod baseline;
+
 /// Shared experiment configuration read from the environment.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {

@@ -148,14 +148,48 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
         let n = g.node_count();
         let k = params.k;
         assert!(k >= 2, "ExStretch requires k >= 2");
+        // Validate before the row sweep: on a lazy oracle the sweep is the
+        // expensive part, and these assertions should fire immediately.
         assert_eq!(names.len(), n, "naming assignment size mismatch");
         assert!(m.is_strongly_connected(), "ExStretch requires a strongly connected graph");
-
         // The deepest neighborhood any dictionary lookup consults is the
         // level-(k−1) ball, so a prefix-truncated order suffices.
         let order = RoundtripOrder::build_truncated(m, RoundtripOrder::level_size(n, k - 1, k));
+        Self::build_with_order(g, m, names, substrate, &order, params)
+    }
+
+    /// Builds the scheme over an **existing** roundtrip order, so the order's
+    /// row sweep can be shared with other consumers (the suite collects it on
+    /// one [`rtr_metric::broadcast_rows`] pass together with the landmark and
+    /// cover sweeps).  The order must store at least the level-`(k−1)`
+    /// neighborhood prefix; a deeper prefix yields bit-identical tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, the graph is not strongly connected, the naming or
+    /// order size mismatches, or the order's stored prefix is too shallow.
+    pub fn build_with_order<O: DistanceOracle + ?Sized>(
+        g: &DiGraph,
+        m: &O,
+        names: &NamingAssignment,
+        substrate: S,
+        order: &RoundtripOrder,
+        params: ExStretchParams,
+    ) -> Self {
+        let n = g.node_count();
+        let k = params.k;
+        assert!(k >= 2, "ExStretch requires k >= 2");
+        assert_eq!(names.len(), n, "naming assignment size mismatch");
+        assert!(m.is_strongly_connected(), "ExStretch requires a strongly connected graph");
+        assert_eq!(order.node_count(), n, "order size mismatch");
+        let deepest = RoundtripOrder::level_size(n, k - 1, k);
+        assert!(
+            order.stored_prefix() >= deepest.min(n),
+            "order stores {} entries per node, scheme needs {deepest}",
+            order.stored_prefix()
+        );
         let space = AddressSpace::new(n, k);
-        let distribution = BlockDistribution::build(space, &order, params.blocks);
+        let distribution = BlockDistribution::build(space, order, params.blocks);
 
         let name_bits = id_bits(n);
         let label_bits = substrate.max_label_bits();
@@ -205,7 +239,7 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
                         if prefix_hops.contains_key(&prefix) {
                             continue;
                         }
-                        if let Some(w) = distribution.holder_for_prefix(&order, u, i + 1, &prefix) {
+                        if let Some(w) = distribution.holder_for_prefix(order, u, i + 1, &prefix) {
                             prefix_hops.insert(
                                 prefix,
                                 HopLabels {

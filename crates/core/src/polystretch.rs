@@ -23,11 +23,10 @@ use crate::naming::NamingAssignment;
 use rtr_cover::{DoubleTreeCover, TreeId};
 use rtr_dictionary::{AddressSpace, NodeName};
 use rtr_graph::{DiGraph, NodeId, Port};
-use rtr_metric::DistanceOracle;
+use rtr_metric::{broadcast_rows, DistanceOracle, RowSweepConsumer, SweepRows, SweepSlots};
 use rtr_sim::{id_bits, ForwardAction, HeaderBits, RoundtripRouting, RoutingError, TableStats};
 use rtr_trees::{TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Parameters of the polynomial-tradeoff scheme.
@@ -139,6 +138,76 @@ struct NodeTable {
     trees: HashMap<TreeId, TreeRecord>,
 }
 
+/// Pass-1 context of one double tree: its router plus the per-level prefix
+/// groups of its members' names.
+struct TreeCtx<'c> {
+    id: TreeId,
+    router: &'c TreeRouter,
+    tree: &'c rtr_trees::DoubleTree,
+    prefix_groups: Vec<HashMap<Vec<u32>, Vec<NodeId>>>,
+}
+
+/// Pass 2 of the §4 construction as a broadcast row consumer: for one node at
+/// a time, mint the tree records (out-table, up-port, own address, prefix +
+/// exact dictionaries) of every tree the node belongs to from the node's
+/// roundtrip row.  Registered on a [`broadcast_rows`] pass by
+/// [`PolynomialStretch::build_with_cover`].
+struct PolyDictionarySweep<'a, 'c> {
+    contexts: &'a [TreeCtx<'c>],
+    tree_memberships: &'a [Vec<usize>],
+    names: &'a NamingAssignment,
+    space: &'a AddressSpace,
+    k: u32,
+    n: usize,
+    /// Per node: (tree records, largest own-address bit count).
+    slots: SweepSlots<(HashMap<TreeId, TreeRecord>, usize)>,
+}
+
+impl RowSweepConsumer for PolyDictionarySweep<'_, '_> {
+    fn consume(&self, u: NodeId, rows: &SweepRows<'_>) {
+        let own_digits = self.space.digits(self.names.name_of(u));
+        let rt_row = rows.roundtrip;
+        let mut trees: HashMap<TreeId, TreeRecord> = HashMap::new();
+        let mut max_label_bits = 0usize;
+        for &ci in &self.tree_memberships[u.index()] {
+            let ctx = &self.contexts[ci];
+            let out_table =
+                *ctx.router.table(u).expect("tree members are spanned by the out component");
+            let own_label = ctx.router.label(u).expect("member has a tree address").clone();
+            max_label_bits = max_label_bits.max(own_label.bits(self.n));
+            let up_port = ctx.tree.in_tree().next_port(u);
+
+            let mut prefix: HashMap<(u32, u32), Arc<TreeLabel>> = HashMap::new();
+            let mut exact: HashMap<NodeName, Arc<TreeLabel>> = HashMap::new();
+            for j in 0..self.k {
+                for tau in 0..self.space.q() {
+                    let mut key = own_digits[..j as usize].to_vec();
+                    key.push(tau);
+                    let Some(group) = ctx.prefix_groups[j as usize].get(&key) else {
+                        continue;
+                    };
+                    // Nearest member of the group by roundtrip distance.
+                    let best = group
+                        .iter()
+                        .copied()
+                        .min_by_key(|&v| (rt_row[v.index()], v.0))
+                        .expect("groups are non-empty");
+                    let label = ctx.router.label(best).expect("member has an address").clone();
+                    if j + 1 == self.k {
+                        // Full name matched: record under the exact name.
+                        exact.insert(self.names.name_of(best), label);
+                    } else {
+                        prefix.insert((j, tau), label);
+                    }
+                }
+            }
+
+            trees.insert(ctx.id, TreeRecord { out_table, up_port, own_label, prefix, exact });
+        }
+        self.slots.put(u.index(), (trees, max_label_bits));
+    }
+}
+
 /// The polynomial-tradeoff TINN scheme.
 #[derive(Debug)]
 pub struct PolynomialStretch {
@@ -200,27 +269,10 @@ impl PolynomialStretch {
         let space = AddressSpace::new(n, k);
         let name_bits = id_bits(n);
 
-        // Assemble per-node tables.
-        let mut tables: Vec<NodeTable> = (0..n)
-            .map(|vi| NodeTable {
-                own_name: names.name_of(NodeId::from_index(vi)),
-                home: (0..cover.level_count())
-                    .map(|li| cover.home_tree_id(NodeId::from_index(vi), li))
-                    .collect(),
-                trees: HashMap::new(),
-            })
-            .collect();
-
         // Pass 1 — per-tree prefix groups (pure name-digit bookkeeping, no
         // oracle): prefix_groups[j] maps a (j+1)-digit prefix to the member
         // list sharing it, so the nearest matching member per (node, j, τ)
         // can be found in one scan below.
-        struct TreeCtx<'c> {
-            id: TreeId,
-            router: &'c TreeRouter,
-            tree: &'c rtr_trees::DoubleTree,
-            prefix_groups: Vec<HashMap<Vec<u32>, Vec<NodeId>>>,
-        }
         let mut contexts: Vec<TreeCtx<'_>> = Vec::new();
         let mut max_trees_per_level = 0usize;
         for (li, level) in cover.levels().iter().enumerate() {
@@ -245,63 +297,38 @@ impl PolynomialStretch {
             }
         }
 
-        // Pass 2 — per-node records. Looping nodes on the outside means one
-        // roundtrip row per *node* serves the group comparisons of every tree
-        // the node belongs to (a lazy oracle pays `O(n)` Dijkstra pairs
-        // instead of `O(total memberships)`), and per-node output ownership
-        // lets the assembly fan out over worker blocks.
-        let worst_label_bits = AtomicUsize::new(0);
-        rtr_graph::par::par_blocks_mut(&mut tables, |start, block| {
-            let mut max_label_bits = 0usize;
-            for (offset, table) in block.iter_mut().enumerate() {
-                let u = NodeId::from_index(start + offset);
-                let own_digits = space.digits(names.name_of(u));
-                let rt_row = m.roundtrip_row(u);
-                for &ci in &tree_memberships[u.index()] {
-                    let ctx = &contexts[ci];
-                    let out_table = *ctx
-                        .router
-                        .table(u)
-                        .expect("tree members are spanned by the out component");
-                    let own_label = ctx.router.label(u).expect("member has a tree address").clone();
-                    max_label_bits = max_label_bits.max(own_label.bits(n));
-                    let up_port = ctx.tree.in_tree().next_port(u);
-
-                    let mut prefix: HashMap<(u32, u32), Arc<TreeLabel>> = HashMap::new();
-                    let mut exact: HashMap<NodeName, Arc<TreeLabel>> = HashMap::new();
-                    for j in 0..k {
-                        for tau in 0..space.q() {
-                            let mut key = own_digits[..j as usize].to_vec();
-                            key.push(tau);
-                            let Some(group) = ctx.prefix_groups[j as usize].get(&key) else {
-                                continue;
-                            };
-                            // Nearest member of the group by roundtrip distance.
-                            let best = group
-                                .iter()
-                                .copied()
-                                .min_by_key(|&v| (rt_row[v.index()], v.0))
-                                .expect("groups are non-empty");
-                            let label =
-                                ctx.router.label(best).expect("member has an address").clone();
-                            if j + 1 == k {
-                                // Full name matched: record under the exact name.
-                                exact.insert(names.name_of(best), label);
-                            } else {
-                                prefix.insert((j, tau), label);
-                            }
-                        }
-                    }
-
-                    table.trees.insert(
-                        ctx.id,
-                        TreeRecord { out_table, up_port, own_label, prefix, exact },
-                    );
+        // Pass 2 — per-node records, as a broadcast row consumer.  Looping
+        // nodes on the outside means one roundtrip row per *node* serves the
+        // group comparisons of every tree the node belongs to (a lazy oracle
+        // pays `O(n)` Dijkstra pairs instead of `O(total memberships)`), and
+        // per-node output slots let the sweep fan the assembly out over
+        // worker blocks on dense oracles.
+        let pass2 = PolyDictionarySweep {
+            contexts: &contexts,
+            tree_memberships: &tree_memberships,
+            names,
+            space: &space,
+            k,
+            n,
+            slots: SweepSlots::new(n),
+        };
+        broadcast_rows(m, &[&pass2]);
+        let mut max_label_bits = 0usize;
+        let tables: Vec<NodeTable> = pass2
+            .slots
+            .into_vec()
+            .into_iter()
+            .enumerate()
+            .map(|(vi, (trees, label_bits))| {
+                max_label_bits = max_label_bits.max(label_bits);
+                let v = NodeId::from_index(vi);
+                NodeTable {
+                    own_name: names.name_of(v),
+                    home: (0..cover.level_count()).map(|li| cover.home_tree_id(v, li)).collect(),
+                    trees,
                 }
-            }
-            worst_label_bits.fetch_max(max_label_bits, Ordering::Relaxed);
-        });
-        let max_label_bits = worst_label_bits.into_inner();
+            })
+            .collect();
 
         let tree_id_bits = TreeId::bits(cover.level_count(), max_trees_per_level.max(1));
         PolynomialStretch {

@@ -139,13 +139,46 @@ impl<S: NameDependentSubstrate> StretchSix<S> {
         params: Stretch6Params,
     ) -> Self {
         let n = g.node_count();
+        // Validate before the row sweep: on a lazy oracle the sweep is the
+        // expensive part, and these assertions should fire immediately.
+        assert_eq!(names.len(), n, "naming assignment size mismatch");
+        assert!(m.is_strongly_connected(), "stretch-6 scheme requires a strongly connected graph");
+        let order = RoundtripOrder::build_truncated(m, RoundtripOrder::level_size(n, 1, 2));
+        Self::build_with_order(g, m, names, substrate, &order, params)
+    }
+
+    /// Builds the scheme over an **existing** roundtrip order, so the order's
+    /// row sweep can be shared with other consumers (the suite collects it on
+    /// one [`rtr_metric::broadcast_rows`] pass together with the landmark and
+    /// cover sweeps).  The order must store at least the `⌈√n⌉` prefix this
+    /// scheme consults; a deeper prefix is fine — every neighborhood read is
+    /// a prefix read, so the tables come out bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not strongly connected, the naming or order
+    /// size mismatches, or the order's stored prefix is too shallow.
+    pub fn build_with_order<O: DistanceOracle + ?Sized>(
+        g: &DiGraph,
+        m: &O,
+        names: &NamingAssignment,
+        substrate: S,
+        order: &RoundtripOrder,
+        params: Stretch6Params,
+    ) -> Self {
+        let n = g.node_count();
         assert_eq!(names.len(), n, "naming assignment size mismatch");
         assert!(m.is_strongly_connected(), "stretch-6 scheme requires a strongly connected graph");
 
         let neighborhood_size = RoundtripOrder::level_size(n, 1, 2);
-        let order = RoundtripOrder::build_truncated(m, neighborhood_size);
+        assert_eq!(order.node_count(), n, "order size mismatch");
+        assert!(
+            order.stored_prefix() >= neighborhood_size.min(n),
+            "order stores {} entries per node, scheme needs {neighborhood_size}",
+            order.stored_prefix()
+        );
         let space = AddressSpace::new(n, 2);
-        let distribution = BlockDistribution::build(space, &order, params.blocks);
+        let distribution = BlockDistribution::build(space, order, params.blocks);
 
         let label_bits = substrate.max_label_bits();
         let name_bits = id_bits(n);
@@ -166,7 +199,7 @@ impl<S: NameDependentSubstrate> StretchSix<S> {
             let mut block_holder = Vec::with_capacity(space.block_count());
             for b in 0..space.block_count() as u32 {
                 let holder = distribution
-                    .holder_of_block(&order, u, rtr_dictionary::BlockId(b))
+                    .holder_of_block(order, u, rtr_dictionary::BlockId(b))
                     .expect("Lemma 1 guarantees a holder in every neighborhood");
                 block_holder.push(substrate.label_for(holder));
             }

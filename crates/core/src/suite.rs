@@ -12,10 +12,10 @@ use crate::naming::NamingAssignment;
 use crate::{
     ExStretch, ExStretchParams, PolyParams, PolynomialStretch, Stretch6Params, StretchSix,
 };
-use rtr_cover::DoubleTreeCover;
+use rtr_cover::{CoverSweepPlan, DoubleTreeCover, LevelCover};
 use rtr_dictionary::DistributionParams;
 use rtr_graph::DiGraph;
-use rtr_metric::DistanceOracle;
+use rtr_metric::{broadcast_rows, DistanceOracle, RoundtripOrder, TruncatedOrderSweep};
 use rtr_namedep::{ExactOracleScheme, LandmarkBallScheme, LandmarkParams, TreeCoverScheme};
 
 /// Parameters of [`SchemeSuite::build`].
@@ -161,13 +161,26 @@ pub struct SparseSchemeSuite {
 
 impl SparseSchemeSuite {
     /// Builds the three schemes, sharing `m`, one landmark substrate build,
-    /// and one Theorem 13 hierarchy.
+    /// one Theorem 13 hierarchy — and, crucially, **one broadcast row
+    /// sweep** for every oracle-row consumer that does not depend on the
+    /// built hierarchy.
     ///
-    /// The landmark substrate is built first — it sweeps the oracle source by
-    /// source, which warms a lazy oracle's row cache — then the shared
-    /// hierarchy (at `params.poly.cover_k`), and finally the three scheme
-    /// constructions fan out over scoped worker threads exactly like
-    /// [`SchemeSuite::build`].
+    /// The row consumers of the whole suite are: landmark extraction, cover
+    /// ball collection, the two schemes' truncated orders, and the §4
+    /// scheme's dictionary pass.  The first four need nothing but rows, so
+    /// they are registered together on a single [`broadcast_rows`] pass (a
+    /// prefetch-windowed sequential sweep on lazy oracles, block-parallel on
+    /// dense ones); only the §4 dictionary pass — which needs the *built*
+    /// cover — runs on a second pass inside
+    /// [`PolynomialStretch::build_with_cover`].  A lazy oracle therefore
+    /// computes ≈ `4n` rows for the full suite instead of the ≈ `10n` the
+    /// five independent sweeps used to fetch, with bit-identical schemes
+    /// (asserted by the `shared_sweep` property tests).  Scale groups beyond
+    /// the first of the cover's transient-bit budget, if any, keep their own
+    /// sweeps exactly as in [`DoubleTreeCover::build`].
+    ///
+    /// After the sweeps, the three scheme constructions fan out over scoped
+    /// worker threads exactly like [`SchemeSuite::build`].
     ///
     /// # Panics
     ///
@@ -180,15 +193,43 @@ impl SparseSchemeSuite {
         params: SparseSuiteParams,
     ) -> Self {
         assert!(params.poly.cover_k >= 2, "cover parameter must be >= 2");
-        let landmark = LandmarkBallScheme::build(g, m, params.landmarks);
-        let cover = DoubleTreeCover::build(g, m, params.poly.cover_k);
+        assert!(m.is_strongly_connected(), "sparse suite requires a strongly connected graph");
+        let n = g.node_count();
+
+        // Register every hierarchy-independent row consumer on ONE sweep:
+        // landmark pass 1, the first cover scale group, and both schemes'
+        // truncated orders.
+        let landmark_sweep = LandmarkBallScheme::sweep(g, params.landmarks);
+        let plan = CoverSweepPlan::new(m, params.poly.cover_k);
+        let mut scale_groups = plan.scale_groups();
+        let cover_sweep = plan.ball_sweep(scale_groups.next().expect("at least one scale group"));
+        let order6_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, 1, 2));
+        let k_x = params.exstretch.k;
+        assert!(k_x >= 2, "ExStretch requires k >= 2");
+        let orderx_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, k_x - 1, k_x));
+        broadcast_rows(m, &[&landmark_sweep, &cover_sweep, &order6_sweep, &orderx_sweep]);
+
+        let landmark = landmark_sweep.finish();
+        let order6 = order6_sweep.finish();
+        let orderx = orderx_sweep.finish();
+        let mut levels: Vec<LevelCover> = cover_sweep.finish_levels(g, plan.k());
+        for group_scales in scale_groups {
+            let sweep = plan.ball_sweep(group_scales);
+            broadcast_rows(m, &[&sweep]);
+            levels.extend(sweep.finish_levels(g, plan.k()));
+        }
+        let cover = DoubleTreeCover::from_levels(plan.k(), levels);
         let treecover = TreeCoverScheme::from_cover(g, m, &cover);
+
         let cover_ref = &cover;
+        let (order6_ref, orderx_ref) = (&order6, &orderx);
         let result = crossbeam::scope(|scope| {
-            let h6 =
-                scope.spawn(move |_| StretchSix::build(g, m, names, landmark, params.stretch6));
-            let hx =
-                scope.spawn(move |_| ExStretch::build(g, m, names, treecover, params.exstretch));
+            let h6 = scope.spawn(move |_| {
+                StretchSix::build_with_order(g, m, names, landmark, order6_ref, params.stretch6)
+            });
+            let hx = scope.spawn(move |_| {
+                ExStretch::build_with_order(g, m, names, treecover, orderx_ref, params.exstretch)
+            });
             let hp = scope.spawn(move |_| {
                 PolynomialStretch::build_with_cover(g, m, names, cover_ref, params.poly)
             });

@@ -1,0 +1,209 @@
+//! Property tests for the broadcast row-sweep pipeline: the shared-sweep
+//! suite build must be **bit-identical** to building every consumer from its
+//! own private sweep, on dense and lazy oracles and for any worker count.
+//!
+//! "Bit-identical" is asserted through every observable surface the schemes
+//! expose: per-node table stats (entry and bit counts), label sizes, and the
+//! exact hop-by-hop roundtrip reports of the simulator for all pairs (hops,
+//! weight, header bits — equal tables produce equal routes).
+
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{ExStretch, PolynomialStretch, SparseSchemeSuite, SparseSuiteParams, StretchSix};
+use rtr_cover::{CoverSweepPlan, DoubleTreeCover};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_graph::DiGraph;
+use rtr_metric::{
+    broadcast_rows_with_threads, CachedSubsetOracle, DistanceMatrix, DistanceOracle,
+    LazyDijkstraOracle, RoundtripOrder, RowSweepConsumer, TruncatedOrderSweep,
+};
+use rtr_namedep::{LandmarkBallScheme, TreeCoverScheme};
+use rtr_sim::{RoundtripRouting, Simulator};
+
+/// The reference build: every row consumer runs its own private sweep, using
+/// the standalone constructors exactly as the pre-shared-sweep suite did.
+fn reference_suite<O: DistanceOracle + ?Sized>(
+    g: &DiGraph,
+    m: &O,
+    names: &NamingAssignment,
+    params: SparseSuiteParams,
+) -> SparseSchemeSuite {
+    let landmark = LandmarkBallScheme::build(g, m, params.landmarks);
+    let cover = DoubleTreeCover::build(g, m, params.poly.cover_k);
+    let treecover = TreeCoverScheme::from_cover(g, m, &cover);
+    SparseSchemeSuite {
+        stretch6: StretchSix::build(g, m, names, landmark, params.stretch6),
+        exstretch: ExStretch::build(g, m, names, treecover, params.exstretch),
+        poly: PolynomialStretch::build_with_cover(g, m, names, &cover, params.poly),
+    }
+}
+
+/// Asserts both suites produce identical tables and identical all-pairs
+/// roundtrip behaviour for all three schemes.
+fn assert_suites_identical(
+    g: &DiGraph,
+    names: &NamingAssignment,
+    a: &SparseSchemeSuite,
+    b: &SparseSchemeSuite,
+    label: &str,
+) {
+    for v in g.nodes() {
+        assert_eq!(
+            a.stretch6.table_stats(v),
+            b.stretch6.table_stats(v),
+            "{label}: stretch6 table at {v} differs"
+        );
+        assert_eq!(
+            a.exstretch.table_stats(v),
+            b.exstretch.table_stats(v),
+            "{label}: exstretch table at {v} differs"
+        );
+        assert_eq!(
+            a.poly.table_stats(v),
+            b.poly.table_stats(v),
+            "{label}: polystretch table at {v} differs"
+        );
+    }
+    let sim = Simulator::new(g);
+    for s in g.nodes() {
+        for t in g.nodes() {
+            if s == t {
+                continue;
+            }
+            let name = names.name_of(t);
+            let ra = sim.roundtrip(&a.stretch6, s, t, name).unwrap();
+            let rb = sim.roundtrip(&b.stretch6, s, t, name).unwrap();
+            assert_eq!(
+                (ra.total_weight(), ra.total_hops(), ra.max_header_bits()),
+                (rb.total_weight(), rb.total_hops(), rb.max_header_bits()),
+                "{label}: stretch6 route ({s},{t}) differs"
+            );
+            let ra = sim.roundtrip(&a.exstretch, s, t, name).unwrap();
+            let rb = sim.roundtrip(&b.exstretch, s, t, name).unwrap();
+            assert_eq!(
+                (ra.total_weight(), ra.total_hops(), ra.max_header_bits()),
+                (rb.total_weight(), rb.total_hops(), rb.max_header_bits()),
+                "{label}: exstretch route ({s},{t}) differs"
+            );
+            let ra = sim.roundtrip(&a.poly, s, t, name).unwrap();
+            let rb = sim.roundtrip(&b.poly, s, t, name).unwrap();
+            assert_eq!(
+                (ra.total_weight(), ra.total_hops(), ra.max_header_bits()),
+                (rb.total_weight(), rb.total_hops(), rb.max_header_bits()),
+                "{label}: polystretch route ({s},{t}) differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_sweep_suite_is_bit_identical_to_per_consumer_sweeps() {
+    for seed in [11u64, 29] {
+        let g = strongly_connected_gnp(40, 0.1, seed).unwrap();
+        let names = NamingAssignment::random(40, seed ^ 0xbeef);
+        let params = SparseSuiteParams::default();
+
+        // Dense oracle: the broadcast fans consumption out over worker
+        // blocks.  (The reference must use the same oracle kind: a lazy
+        // oracle's 2×-bounded diameter estimate can legitimately add one
+        // cover level versus the dense exact diameter, so dense-vs-lazy
+        // suites are equivalent but not bit-identical.)
+        let dense = DistanceMatrix::build(&g);
+        let reference = reference_suite(&g, &dense, &names, params);
+        let shared = SparseSchemeSuite::build(&g, &dense, &names, params);
+        assert_suites_identical(&g, &names, &reference, &shared, "dense");
+
+        // Lazy oracle (tiny cache): the broadcast runs the sequential
+        // prefetch-windowed path — the other consumption mode.
+        let lazy_reference = LazyDijkstraOracle::new(&g, 8);
+        let reference = reference_suite(&g, &lazy_reference, &names, params);
+        let lazy = LazyDijkstraOracle::new(&g, 8);
+        let via_lazy = SparseSchemeSuite::build(&g, &lazy, &names, params);
+        assert_suites_identical(&g, &names, &reference, &via_lazy, "lazy");
+        assert!(lazy.stats().peak_resident_rows <= 9, "cache bound violated");
+
+        // Memoising subset oracle, same sequential path, unbounded cache.
+        let subset_reference = CachedSubsetOracle::new(&g);
+        let reference = reference_suite(&g, &subset_reference, &names, params);
+        let subset = CachedSubsetOracle::new(&g);
+        let via_subset = SparseSchemeSuite::build(&g, &subset, &names, params);
+        assert_suites_identical(&g, &names, &reference, &via_subset, "subset");
+    }
+}
+
+#[test]
+fn shared_sweep_halves_the_lazy_oracle_rows() {
+    // The acceptance criterion of the shared sweep, at test scale: the suite
+    // build through a lazy oracle must compute at most half the rows the
+    // per-consumer reference build fetches.
+    let g = strongly_connected_gnp(60, 0.08, 5).unwrap();
+    let names = NamingAssignment::random(60, 17);
+    let params = SparseSuiteParams::default();
+
+    let reference_oracle = LazyDijkstraOracle::new(&g, 8);
+    let _ = reference_suite(&g, &reference_oracle, &names, params);
+    let reference_rows = reference_oracle.stats().rows_computed;
+
+    let shared_oracle = LazyDijkstraOracle::new(&g, 8);
+    let _ = SparseSchemeSuite::build(&g, &shared_oracle, &names, params);
+    let shared_rows = shared_oracle.stats().rows_computed;
+
+    assert!(
+        2 * shared_rows <= reference_rows,
+        "shared sweep computed {shared_rows} rows, reference {reference_rows} — not halved"
+    );
+}
+
+#[test]
+fn broadcast_consumers_are_thread_count_invariant() {
+    // Pin the dense broadcast's worker count and check that every consumer
+    // kind — both truncated orders, the landmark sweep, the cover ball
+    // sweep — produces identical structures at 1, 2 and 7 workers.
+    let g = strongly_connected_gnp(48, 0.1, 23).unwrap();
+    let dense = DistanceMatrix::build(&g);
+    let params = SparseSuiteParams::default();
+    let n = g.node_count();
+    let kx = params.exstretch.k;
+
+    let build_all = |threads: usize| {
+        let landmark_sweep = LandmarkBallScheme::sweep(&g, params.landmarks);
+        let plan = CoverSweepPlan::new(&dense, params.poly.cover_k);
+        let mut groups = plan.scale_groups();
+        let cover_sweep = plan.ball_sweep(groups.next().unwrap());
+        assert!(groups.next().is_none(), "test instance should fit one scale group");
+        let order6 = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, 1, 2));
+        let orderx = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, kx - 1, kx));
+        let consumers: [&dyn RowSweepConsumer; 4] =
+            [&landmark_sweep, &cover_sweep, &order6, &orderx];
+        broadcast_rows_with_threads(&dense, &consumers, threads);
+        (
+            landmark_sweep.finish(),
+            DoubleTreeCover::from_levels(plan.k(), cover_sweep.finish_levels(&g, plan.k())),
+            order6.finish(),
+            orderx.finish(),
+        )
+    };
+
+    let (landmark1, cover1, order6_1, orderx_1) = build_all(1);
+    for threads in [2usize, 7] {
+        let (landmark, cover, order6, orderx) = build_all(threads);
+        use rtr_namedep::NameDependentSubstrate;
+        for v in g.nodes() {
+            assert_eq!(
+                landmark.table_stats(v),
+                landmark1.table_stats(v),
+                "landmark table at {v}, threads = {threads}"
+            );
+            assert_eq!(landmark.nearest_landmark(v), landmark1.nearest_landmark(v));
+            assert_eq!(order6.init(v), order6_1.init(v), "order6 at {v}, threads = {threads}");
+            assert_eq!(orderx.init(v), orderx_1.init(v), "orderx at {v}, threads = {threads}");
+            assert_eq!(cover.membership_count(v), cover1.membership_count(v));
+            assert_eq!(cover.trees_containing(v), cover1.trees_containing(v));
+        }
+        assert_eq!(landmark.landmarks(), landmark1.landmarks());
+        assert_eq!(cover.level_count(), cover1.level_count());
+        for (la, lb) in cover.levels().iter().zip(cover1.levels()) {
+            assert_eq!(la.scale, lb.scale);
+            assert_eq!(la.trees.len(), lb.trees.len());
+        }
+    }
+}

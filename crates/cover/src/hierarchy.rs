@@ -3,7 +3,7 @@
 use crate::nodeset::NodeSet;
 use crate::partial::{cover_from_balls, BallCover};
 use rtr_graph::{DiGraph, Distance, NodeId};
-use rtr_metric::DistanceOracle;
+use rtr_metric::{broadcast_rows, DistanceOracle, RowSweepConsumer, SweepRows, SweepSlots};
 use rtr_trees::{DoubleTree, TreeRouter};
 
 /// Peak transient ball bits held per level group during
@@ -114,6 +114,132 @@ pub struct DoubleTreeCover {
     levels: Vec<LevelCover>,
 }
 
+/// The precomputed shape of a [`DoubleTreeCover`] build: the doubling scales
+/// up to the oracle's diameter bound, chunked into sweep groups by the
+/// transient-bit budget.
+///
+/// Splitting the plan off from the build lets a caller register the **first
+/// group's** [`CoverBallSweep`] on a shared [`broadcast_rows`] pass together
+/// with other row consumers (orders, landmark extraction) — the suite's
+/// single-sweep construction — and run any remaining groups on their own
+/// sweeps afterwards.  [`DoubleTreeCover::build`] is exactly that loop with
+/// no co-registered consumers.
+#[derive(Debug, Clone)]
+pub struct CoverSweepPlan {
+    k: u32,
+    n: usize,
+    scales: Vec<Distance>,
+    group: usize,
+}
+
+impl CoverSweepPlan {
+    /// Probes the oracle's diameter bound and lays out the scales and sweep
+    /// groups for a sparseness-`k` hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or the graph is not strongly connected.
+    pub fn new<O: DistanceOracle + ?Sized>(m: &O, k: u32) -> Self {
+        assert!(k >= 2, "DoubleTreeCover requires k >= 2");
+        assert!(m.is_strongly_connected(), "DoubleTreeCover requires a strongly connected graph");
+        let diam = m.roundtrip_diameter_bound().max(1);
+        let mut scales: Vec<Distance> = vec![2];
+        while *scales.last().expect("nonempty") < diam {
+            scales.push(scales.last().expect("nonempty").saturating_mul(2));
+        }
+        // Every scale's ball of a node is a prefix of the same roundtrip row,
+        // so one row sweep collects the balls of a whole *group* of levels at
+        // once.  Levels are chunked into groups bounded by a transient-bit
+        // budget: collecting all levels in one sweep held `levels · n²` ball
+        // bits — tens of gigabytes at n = 10⁵ — while per-group collection
+        // caps the peak at `group · n²` bits and pays one extra row sweep per
+        // additional group.  Small instances keep every level in a single
+        // group, and within a group the result is bit-identical to per-level
+        // collection either way.
+        let n = m.node_count();
+        let group = if n == 0 {
+            scales.len().max(1)
+        } else {
+            ((BALL_GROUP_BUDGET_BITS / (n as u128 * n as u128)).max(1) as usize)
+                .min(scales.len().max(1))
+        };
+        CoverSweepPlan { k, n, scales, group }
+    }
+
+    /// The sparseness parameter the plan was laid out for.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// The scale groups, each the unit of one row sweep.
+    pub fn scale_groups(&self) -> std::slice::Chunks<'_, Distance> {
+        self.scales.chunks(self.group)
+    }
+
+    /// Creates the ball-collecting row consumer for one scale group.
+    pub fn ball_sweep(&self, group_scales: &[Distance]) -> CoverBallSweep {
+        CoverBallSweep { n: self.n, scales: group_scales.to_vec(), slots: SweepSlots::new(self.n) }
+    }
+}
+
+/// Row consumer collecting, for one group of scales, every node's roundtrip
+/// balls (`{w : r(v, w) ≤ scale}` as bitsets) from the node's roundtrip row.
+///
+/// Register it on a [`broadcast_rows`] pass (alone or together with other
+/// consumers), then turn the collected balls into built levels with
+/// [`finish_levels`](Self::finish_levels).
+#[derive(Debug)]
+pub struct CoverBallSweep {
+    n: usize,
+    scales: Vec<Distance>,
+    slots: SweepSlots<Vec<NodeSet>>,
+}
+
+impl CoverBallSweep {
+    /// Builds the group's levels (cover, double trees, routers per scale)
+    /// from the collected balls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has not visited every source yet.
+    pub fn finish_levels(self, g: &DiGraph, k: u32) -> Vec<LevelCover> {
+        let by_node = self.slots.into_vec();
+        // Transpose node-major → level-major (moves only).
+        let mut by_level: Vec<Vec<NodeSet>> =
+            self.scales.iter().map(|_| Vec::with_capacity(self.n)).collect();
+        for balls in by_node {
+            for (gi, ball) in balls.into_iter().enumerate() {
+                by_level[gi].push(ball);
+            }
+        }
+        self.scales
+            .iter()
+            .zip(by_level)
+            .map(|(&scale, balls)| LevelCover::from_balls(g, balls, k, scale))
+            .collect()
+    }
+}
+
+impl RowSweepConsumer for CoverBallSweep {
+    fn consume(&self, source: NodeId, rows: &SweepRows<'_>) {
+        let balls: Vec<NodeSet> = self
+            .scales
+            .iter()
+            .map(|&d| {
+                NodeSet::from_nodes(
+                    self.n,
+                    rows.roundtrip
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &r)| r <= d)
+                        .map(|(w, _)| NodeId::from_index(w)),
+                )
+            })
+            .collect();
+        self.slots.put(source.index(), balls);
+    }
+}
+
 impl DoubleTreeCover {
     /// Builds the hierarchy for sparseness parameter `k ≥ 2`.
     ///
@@ -123,82 +249,32 @@ impl DoubleTreeCover {
     /// level at the top — harmless, since a top level whose scale exceeds the
     /// diameter is the full cover either way.
     ///
+    /// One [`broadcast_rows`] pass per [`CoverSweepPlan`] scale group
+    /// collects the balls; callers sharing the sweep with other consumers
+    /// drive the same plan/sweep pieces themselves.
+    ///
     /// # Panics
     ///
     /// Panics if `k < 2` or the graph is not strongly connected.
     pub fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, k: u32) -> Self {
-        assert!(k >= 2, "DoubleTreeCover requires k >= 2");
-        assert!(m.is_strongly_connected(), "DoubleTreeCover requires a strongly connected graph");
-        let diam = m.roundtrip_diameter_bound().max(1);
-        let mut scales: Vec<Distance> = vec![2];
-        while *scales.last().expect("nonempty") < diam {
-            scales.push(scales.last().expect("nonempty").saturating_mul(2));
+        let plan = CoverSweepPlan::new(m, k);
+        let mut levels: Vec<LevelCover> = Vec::new();
+        for group_scales in plan.scale_groups() {
+            let sweep = plan.ball_sweep(group_scales);
+            broadcast_rows(m, &[&sweep]);
+            levels.extend(sweep.finish_levels(g, k));
         }
+        Self::from_levels(k, levels)
+    }
 
-        // Every scale's ball of a node is a prefix of the same roundtrip row,
-        // so one row sweep collects the balls of a whole *group* of levels at
-        // once.  Levels are chunked into groups bounded by a transient-bit
-        // budget: collecting all levels in one sweep (PR 2) held
-        // `levels · n²` ball bits — tens of gigabytes at n = 10⁵ — while
-        // per-group collection caps the peak at `group · n²` bits and pays
-        // one extra row sweep per additional group.  Small instances keep
-        // every level in a single group, so their oracle cost is unchanged,
-        // and within a group the result is bit-identical to per-level
-        // collection either way.
-        let n = g.node_count();
-        let group = if n == 0 {
-            scales.len().max(1)
-        } else {
-            ((BALL_GROUP_BUDGET_BITS / (n as u128 * n as u128)).max(1) as usize)
-                .min(scales.len().max(1))
-        };
-        let mut levels: Vec<LevelCover> = Vec::with_capacity(scales.len());
-        for group_scales in scales.chunks(group) {
-            let mut by_node: Vec<Option<Vec<NodeSet>>> = (0..n).map(|_| None).collect();
-            let collect_balls = |row: &[Distance]| -> Vec<NodeSet> {
-                group_scales
-                    .iter()
-                    .map(|&d| {
-                        NodeSet::from_nodes(
-                            n,
-                            row.iter()
-                                .enumerate()
-                                .filter(|&(_, &r)| r <= d)
-                                .map(|(w, _)| NodeId::from_index(w)),
-                        )
-                    })
-                    .collect()
-            };
-            if m.prefers_row_prefetch() {
-                // Lazy oracle: sweep sequentially over prefetch windows so
-                // the row Dijkstras overlap on the oracle's worker pool
-                // while this thread slices finished rows into balls.
-                let sources: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
-                rtr_metric::sweep_rows_prefetched(m, &sources, |v| {
-                    by_node[v.index()] = Some(collect_balls(&m.roundtrip_row(v)));
-                });
-            } else {
-                // Dense oracle: rows are free; parallelise the collection
-                // over workers owning disjoint node blocks.
-                rtr_graph::par::par_blocks_mut(&mut by_node, |start, block| {
-                    for (offset, slot) in block.iter_mut().enumerate() {
-                        let v = NodeId::from_index(start + offset);
-                        *slot = Some(collect_balls(&m.roundtrip_row(v)));
-                    }
-                });
-            }
-            // Transpose node-major → level-major (moves only).
-            let mut by_level: Vec<Vec<NodeSet>> =
-                group_scales.iter().map(|_| Vec::with_capacity(n)).collect();
-            for balls in by_node {
-                for (gi, ball) in balls.expect("every node was swept").into_iter().enumerate() {
-                    by_level[gi].push(ball);
-                }
-            }
-            for (&scale, balls) in group_scales.iter().zip(by_level) {
-                levels.push(LevelCover::from_balls(g, balls, k, scale));
-            }
-        }
+    /// Assembles a hierarchy from already-built levels (the shared-sweep
+    /// suite path: levels come out of [`CoverBallSweep::finish_levels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn from_levels(k: u32, levels: Vec<LevelCover>) -> Self {
+        assert!(k >= 2, "DoubleTreeCover requires k >= 2");
         DoubleTreeCover { k, levels }
     }
 

@@ -28,7 +28,7 @@ mod nodeset;
 mod partial;
 mod stats;
 
-pub use hierarchy::{DoubleTreeCover, LevelCover, TreeId};
+pub use hierarchy::{CoverBallSweep, CoverSweepPlan, DoubleTreeCover, LevelCover, TreeId};
 pub use nodeset::NodeSet;
 pub use partial::{cover_balls, cover_from_balls, partial_cover, BallCover, PartialCoverOutput};
 pub use stats::CoverStats;

@@ -19,6 +19,11 @@
 //!   including prefix-truncated orders ([`RoundtripOrder::build_truncated`])
 //!   so that schemes needing only `Õ(√n)`-sized neighborhoods never hold an
 //!   `n²` structure;
+//! * the **broadcast row sweep** ([`broadcast_rows`]): one prefetched pass
+//!   over the oracle's forward/reverse rows fanned out to any number of
+//!   registered [`RowSweepConsumer`]s — how the scheme suite builds its
+//!   orders, landmark balls and cover balls from a single pass instead of
+//!   one sweep per structure;
 //! * the roundtrip aggregates `RTDiam`, `RTRad`, `RTCenter` on clusters
 //!   (induced subgraphs, [`ClusterMetric`]), needed by the §4 cover
 //!   construction.
@@ -46,6 +51,7 @@ mod cluster;
 mod matrix;
 mod oracle;
 mod order;
+mod sweep;
 
 pub use cluster::ClusterMetric;
 pub use matrix::DistanceMatrix;
@@ -53,4 +59,7 @@ pub use oracle::{
     sweep_rows_prefetched, CachedSubsetOracle, DistanceOracle, LazyDijkstraOracle, OracleStats,
     PREFETCH_WINDOW,
 };
-pub use order::{roundtrip_closer, RoundtripOrder};
+pub use order::{roundtrip_closer, RoundtripOrder, TruncatedOrderSweep};
+pub use sweep::{
+    broadcast_rows, broadcast_rows_with_threads, RowSweepConsumer, SweepRows, SweepSlots,
+};

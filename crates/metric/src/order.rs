@@ -1,8 +1,8 @@
 //! The total order `≺_v` and the neighborhood balls `N_i(u)` of paper §2/§3.
 
-use crate::oracle::{sweep_rows_prefetched, DistanceOracle};
-use rtr_graph::types::saturating_dist_add;
-use rtr_graph::NodeId;
+use crate::oracle::DistanceOracle;
+use crate::sweep::{broadcast_rows, RowSweepConsumer, SweepRows, SweepSlots};
+use rtr_graph::{Distance, NodeId};
 use std::cmp::Ordering;
 
 /// Compares `a` and `b` from the point of view of `v` by the paper's
@@ -33,9 +33,11 @@ pub fn roundtrip_closer<O: DistanceOracle + ?Sized>(
 ///
 /// Two build modes exist:
 ///
-/// * [`build`](Self::build) stores the **full** order for every node plus a
-///   dense inverse permutation — `O(n²)` memory, `O(1)` rank queries; right
-///   for moderate `n` and for consumers that need deep prefixes.
+/// * [`build`](Self::build) stores the **full** order for every node —
+///   `O(n²)` ids; right for moderate `n` and for consumers that need deep
+///   prefixes. (The dense inverse-permutation rank table this mode used to
+///   carry is gone: every remaining rank/membership query is answered from
+///   the stored prefix itself.)
 /// * [`build_truncated`](Self::build_truncated) stores only the first `cap`
 ///   entries per node — `O(n·cap)` memory. The stored prefix is *identical*
 ///   to the full order's prefix (same sort keys), so any consumer whose
@@ -43,9 +45,10 @@ pub fn roundtrip_closer<O: DistanceOracle + ?Sized>(
 ///   is what lets the schemes run at `n = 10⁴⁺` through a lazy oracle without
 ///   ever holding an `n²` structure.
 ///
-/// Either way, construction consumes the oracle row-wise — two rows (forward
-/// and reverse) per source, swept source by source, in parallel across
-/// worker threads that each own a disjoint chunk of sources.
+/// Either way, construction consumes the oracle row-wise through the
+/// [broadcast sweep](crate::broadcast_rows): [`TruncatedOrderSweep`] is the
+/// row consumer, and several orders (or other row consumers) can share one
+/// pass over the metric.
 #[derive(Debug, Clone)]
 pub struct RoundtripOrder {
     n: usize,
@@ -53,25 +56,52 @@ pub struct RoundtripOrder {
     /// `orders[v][rank] = rank`-th closest node to `v` (rank 0 is `v`),
     /// truncated to `stored` entries.
     orders: Vec<Vec<NodeId>>,
-    /// `rank_of[v][u] = rank of u in Init_v` (dense inverse permutation);
-    /// present only for full builds.
-    rank_of: Option<Vec<Vec<u32>>>,
+}
+
+/// Row consumer collecting the first `cap` entries of every `Init_v` — the
+/// [`RoundtripOrder::build_truncated`] construction, exposed as a
+/// [`RowSweepConsumer`] so several orders can ride one shared
+/// [`broadcast_rows`] pass together with other row consumers.
+#[derive(Debug)]
+pub struct TruncatedOrderSweep {
+    n: usize,
+    cap: usize,
+    slots: SweepSlots<Vec<NodeId>>,
+}
+
+impl TruncatedOrderSweep {
+    /// Prepares a sweep over `n` sources storing the first `cap` entries per
+    /// source (clamped exactly like [`RoundtripOrder::build_truncated`]).
+    pub fn new(n: usize, cap: usize) -> Self {
+        let cap = cap.min(n).max(1.min(n));
+        TruncatedOrderSweep { n, cap, slots: SweepSlots::new(n) }
+    }
+
+    /// The clamped stored-prefix length this sweep collects.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Assembles the collected prefixes into a [`RoundtripOrder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has not visited every source yet.
+    pub fn finish(self) -> RoundtripOrder {
+        RoundtripOrder { n: self.n, stored: self.cap, orders: self.slots.into_vec() }
+    }
+}
+
+impl RowSweepConsumer for TruncatedOrderSweep {
+    fn consume(&self, source: NodeId, rows: &SweepRows<'_>) {
+        self.slots.put(source.index(), prefix_from_rows(rows.roundtrip, rows.rev, self.cap));
+    }
 }
 
 impl RoundtripOrder {
     /// Computes the full `Init_v` for every `v` from a distance oracle.
     pub fn build<O: DistanceOracle + ?Sized>(m: &O) -> Self {
-        let n = m.node_count();
-        let mut order = Self::build_truncated(m, n);
-        // Dense inverse permutation for O(1) rank queries.
-        let mut rank_of = vec![vec![0u32; n]; n];
-        for (vi, init) in order.orders.iter().enumerate() {
-            for (rank, &u) in init.iter().enumerate() {
-                rank_of[vi][u.index()] = rank as u32;
-            }
-        }
-        order.rank_of = Some(rank_of);
-        order
+        Self::build_truncated(m, m.node_count())
     }
 
     /// Computes only the first `cap` entries of `Init_v` for every `v`
@@ -80,41 +110,15 @@ impl RoundtripOrder {
     /// (`level_size(n, k−1, k)` covers every dictionary lookup of a
     /// parameter-`k` scheme).
     ///
-    /// On a dense oracle the per-source work is the selection itself, so the
-    /// sweep fans out over worker threads owning disjoint source blocks.  On
-    /// a lazy oracle the per-source cost is the two Dijkstras behind the row
-    /// miss, so the sweep instead runs sequentially over prefetch windows —
-    /// [`DistanceOracle::prefetch_rows`] overlaps the Dijkstras on the
-    /// oracle's worker pool while this thread consumes finished rows.  Both
-    /// paths produce bit-identical orders.
+    /// Runs a solo [`broadcast_rows`] pass with a [`TruncatedOrderSweep`]
+    /// consumer: block-parallel consumption on dense oracles, a sequential
+    /// prefetch-windowed sweep on lazy ones — bit-identical orders either
+    /// way. Callers building several row structures should register the
+    /// sweep on a shared broadcast instead.
     pub fn build_truncated<O: DistanceOracle + ?Sized>(m: &O, cap: usize) -> Self {
-        let n = m.node_count();
-        let cap = cap.min(n).max(1.min(n));
-        let mut orders: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        if n == 0 {
-            return RoundtripOrder { n, stored: 0, orders, rank_of: None };
-        }
-        if m.prefers_row_prefetch() {
-            let sources: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
-            sweep_rows_prefetched(m, &sources, |v| {
-                orders[v.index()] = prefix_for_source(m, v, cap);
-            });
-            return RoundtripOrder { n, stored: cap, orders, rank_of: None };
-        }
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
-        let chunk = n.div_ceil(threads);
-        crossbeam::scope(|scope| {
-            for (ci, block) in orders.chunks_mut(chunk).enumerate() {
-                scope.spawn(move |_| {
-                    for (offset, slot) in block.iter_mut().enumerate() {
-                        let v = NodeId::from_index(ci * chunk + offset);
-                        *slot = prefix_for_source(m, v, cap);
-                    }
-                });
-            }
-        })
-        .expect("roundtrip-order worker panicked");
-        RoundtripOrder { n, stored: cap, orders, rank_of: None }
+        let sweep = TruncatedOrderSweep::new(m.node_count(), cap);
+        broadcast_rows(m, &[&sweep]);
+        sweep.finish()
     }
 
     /// Number of nodes.
@@ -153,29 +157,25 @@ impl RoundtripOrder {
         &self.orders[v.index()][..k]
     }
 
-    /// The rank of `u` in `Init_v` (0 for `u == v`).
+    /// The rank of `u` in `Init_v` (0 for `u == v`), by scanning the stored
+    /// prefix — the callers that needed `O(1)` ranks over a dense `n²`
+    /// inverse permutation are gone, so the table is too.
     ///
     /// # Panics
     ///
     /// On a truncated build, panics if `u` lies beyond the stored prefix of
     /// `Init_v`.
     pub fn rank(&self, v: NodeId, u: NodeId) -> usize {
-        match &self.rank_of {
-            Some(dense) => dense[v.index()][u.index()] as usize,
-            None => self.orders[v.index()]
-                .iter()
-                .position(|&x| x == u)
-                .expect("rank query beyond the stored prefix of a truncated order"),
-        }
+        self.orders[v.index()]
+            .iter()
+            .position(|&x| x == u)
+            .expect("rank query beyond the stored prefix of a truncated order")
     }
 
     /// Whether `u` lies in the first `size` entries of `Init_v`.
     pub fn in_neighborhood(&self, v: NodeId, u: NodeId, size: usize) -> bool {
         let size = size.min(self.n);
-        match &self.rank_of {
-            Some(dense) => (dense[v.index()][u.index()] as usize) < size,
-            None => self.neighborhood(v, size).contains(&u),
-        }
+        self.neighborhood(v, size).contains(&u)
     }
 
     /// The size of the `i`-th level neighborhood `N_i(v) = first ⌈n^{i/k}⌉`
@@ -200,16 +200,14 @@ impl RoundtripOrder {
     }
 }
 
-/// The first `cap` entries of `Init_v`, computed from the forward and reverse
-/// rows of `v` alone.
-fn prefix_for_source<O: DistanceOracle + ?Sized>(m: &O, v: NodeId, cap: usize) -> Vec<NodeId> {
-    let fwd = m.row(v);
-    let rev = m.rev_row(v);
+/// The first `cap` entries of `Init_v`, computed from the roundtrip and
+/// reverse rows of `v` alone.
+fn prefix_from_rows(roundtrip: &[Distance], rev: &[Distance], cap: usize) -> Vec<NodeId> {
     let key = |x: u32| {
         let xi = x as usize;
-        (saturating_dist_add(fwd[xi], rev[xi]), rev[xi], x)
+        (roundtrip[xi], rev[xi], x)
     };
-    let mut nodes: Vec<u32> = (0..fwd.len() as u32).collect();
+    let mut nodes: Vec<u32> = (0..roundtrip.len() as u32).collect();
     if cap < nodes.len() {
         nodes.select_nth_unstable_by_key(cap, |&x| key(x));
         nodes.truncate(cap);

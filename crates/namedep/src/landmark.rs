@@ -39,7 +39,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rtr_graph::algo::dijkstra::dijkstra_to_targets;
 use rtr_graph::{DiGraph, NodeId, Port};
-use rtr_metric::DistanceOracle;
+use rtr_metric::{broadcast_rows, DistanceOracle, RowSweepConsumer, SweepRows, SweepSlots};
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
 use rtr_trees::{InTree, OutTree, TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::hash_map::Entry;
@@ -131,13 +131,93 @@ pub struct LandmarkBallScheme {
     max_ball_size: usize,
 }
 
+/// Pass 1 of the landmark + ball construction as a
+/// [`RowSweepConsumer`]: per node, the nearest sampled landmark and the
+/// roundtrip ball (with exact first-hop ports), extracted from the node's
+/// roundtrip row.
+///
+/// Create it with [`LandmarkBallScheme::sweep`], register it on a
+/// [`broadcast_rows`] pass — alone, or shared with the suite's other row
+/// consumers — and assemble the substrate with
+/// [`finish`](LandmarkSweep::finish).  Per-node outputs are independent, so
+/// the result is bit-identical whether the sweep delivers rows sequentially
+/// (lazy oracles) or block-parallel (dense oracles).
+#[derive(Debug)]
+pub struct LandmarkSweep<'g> {
+    g: &'g DiGraph,
+    sampled: Vec<NodeId>,
+    ball_cap: usize,
+    /// Per node: (index of nearest sampled landmark, ball member → port).
+    slots: SweepSlots<(u32, HashMap<NodeId, Port>)>,
+}
+
+impl RowSweepConsumer for LandmarkSweep<'_> {
+    fn consume(&self, u: NodeId, rows: &SweepRows<'_>) {
+        let rt_row = rows.roundtrip;
+        let (li, _) = self
+            .sampled
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (i, rt_row[l.index()]))
+            .min_by_key(|&(i, d)| (d, i))
+            .expect("at least one landmark");
+
+        let r_to_landmarks = rt_row[self.sampled[li].index()];
+        // Candidate ball members, nearest first, capped.
+        let mut members: Vec<NodeId> =
+            self.g.nodes().filter(|&w| w != u && rt_row[w.index()] < r_to_landmarks).collect();
+        members.sort_by_key(|&w| (rt_row[w.index()], w.0));
+        members.truncate(self.ball_cap);
+        let mut ball: HashMap<NodeId, Port> = HashMap::new();
+        if !members.is_empty() {
+            // Bounded Dijkstra: stop as soon as every ball member is
+            // settled instead of running to completion — the members
+            // are the only nodes read, and their first hops are
+            // bit-identical to a full run (see `dijkstra_to_targets`).
+            let sp = dijkstra_to_targets(self.g, u, &members);
+            for w in members {
+                // First hop of the shortest path u → w.
+                let path = sp.path(w).expect("strongly connected");
+                let first_hop = path[1];
+                let port = self.g.port_of_edge(u, first_hop).expect("edge on path exists");
+                ball.insert(w, port);
+            }
+        }
+        self.slots.put(u.index(), (li as u32, ball));
+    }
+}
+
+impl<'g> LandmarkSweep<'g> {
+    /// Assembles the substrate from the collected pass-1 results (passes 2
+    /// and 3 of the construction: landmark pruning and per-landmark trees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has not visited every node yet.
+    pub fn finish(self) -> LandmarkBallScheme {
+        let (g, sampled) = (self.g, self.sampled);
+        let per_node = self.slots.into_vec();
+        let mut nearest_sampled = Vec::with_capacity(per_node.len());
+        let mut balls = Vec::with_capacity(per_node.len());
+        for (li, ball) in per_node {
+            nearest_sampled.push(li);
+            balls.push(ball);
+        }
+        let max_ball_size = balls.iter().map(HashMap::len).max().unwrap_or(0);
+        LandmarkBallScheme::assemble(g, sampled, nearest_sampled, balls, max_ball_size)
+    }
+}
+
 impl LandmarkBallScheme {
     /// Builds the substrate.
     ///
     /// Generic over the distance oracle; the construction touches the metric
     /// only through per-source roundtrip rows (landmark selection and ball
     /// extraction for node `u` both read the rows of `u`), so a lazy oracle
-    /// serves it with two Dijkstras per node and a bounded cache.
+    /// serves it with two Dijkstras per node and a bounded cache.  Runs a
+    /// solo [`broadcast_rows`] pass over the [`LandmarkSweep`] consumer;
+    /// callers building more row structures should use
+    /// [`sweep`](Self::sweep) and share the pass.
     ///
     /// # Panics
     ///
@@ -147,6 +227,15 @@ impl LandmarkBallScheme {
             m.is_strongly_connected(),
             "landmark substrate requires a strongly connected graph"
         );
+        let sweep = Self::sweep(g, params);
+        broadcast_rows(m, &[&sweep]);
+        sweep.finish()
+    }
+
+    /// Samples the landmark set and prepares the pass-1 row consumer.  The
+    /// caller is responsible for running it over every node's rows (via
+    /// [`broadcast_rows`]) before calling [`LandmarkSweep::finish`].
+    pub fn sweep(g: &DiGraph, params: LandmarkParams) -> LandmarkSweep<'_> {
         let n = g.node_count();
         let target_landmarks = ((n as f64 * (n.max(2) as f64).ln()).sqrt() * params.landmark_factor)
             .ceil()
@@ -159,51 +248,19 @@ impl LandmarkBallScheme {
         let mut sampled: Vec<NodeId> = all.into_iter().take(landmark_count).collect();
         sampled.sort_unstable();
 
-        // Pass 1 — nearest sampled landmark and roundtrip ball per node, from
-        // one roundtrip row per source (the landmark comparison and the ball
-        // threshold read the same row, so each source costs the oracle at
-        // most two Dijkstras regardless of implementation).  The sweep is
-        // sequential but prefetch-windowed: a lazy oracle overlaps the next
-        // window's Dijkstras on its worker pool while this thread extracts
-        // balls from finished rows.
-        let mut nearest_sampled = vec![0u32; n];
-        let mut balls: Vec<HashMap<NodeId, Port>> = vec![HashMap::new(); n];
         let ball_cap = ((n as f64).sqrt() * params.ball_factor).ceil() as usize;
-        let mut max_ball_size = 0usize;
-        let nodes: Vec<NodeId> = g.nodes().collect();
-        rtr_metric::sweep_rows_prefetched(m, &nodes, |u| {
-            let rt_row = m.roundtrip_row(u);
-            let (li, _) = sampled
-                .iter()
-                .enumerate()
-                .map(|(i, &l)| (i, rt_row[l.index()]))
-                .min_by_key(|&(i, d)| (d, i))
-                .expect("at least one landmark");
-            nearest_sampled[u.index()] = li as u32;
+        LandmarkSweep { g, sampled, ball_cap, slots: SweepSlots::new(n) }
+    }
 
-            let r_to_landmarks = rt_row[sampled[li].index()];
-            // Candidate ball members, nearest first, capped.
-            let mut members: Vec<NodeId> =
-                g.nodes().filter(|&w| w != u && rt_row[w.index()] < r_to_landmarks).collect();
-            members.sort_by_key(|&w| (rt_row[w.index()], w.0));
-            members.truncate(ball_cap);
-            if !members.is_empty() {
-                // Bounded Dijkstra: stop as soon as every ball member is
-                // settled instead of running to completion — the members
-                // are the only nodes read, and their first hops are
-                // bit-identical to a full run (see `dijkstra_to_targets`).
-                let sp = dijkstra_to_targets(g, u, &members);
-                for w in members {
-                    // First hop of the shortest path u → w.
-                    let path = sp.path(w).expect("strongly connected");
-                    let first_hop = path[1];
-                    let port = g.port_of_edge(u, first_hop).expect("edge on path exists");
-                    balls[u.index()].insert(w, port);
-                }
-            }
-            max_ball_size = max_ball_size.max(balls[u.index()].len());
-        });
-
+    /// Passes 2 and 3 of the construction, from pass-1 results.
+    fn assemble(
+        g: &DiGraph,
+        sampled: Vec<NodeId>,
+        nearest_sampled: Vec<u32>,
+        balls: Vec<HashMap<NodeId, Port>>,
+        max_ball_size: usize,
+    ) -> Self {
+        let n = g.node_count();
         // Pass 2 — keep only the landmarks some node actually routes through.
         // Labels only ever name `ℓ(v)`, so samples that are nobody's nearest
         // landmark would occupy a column of every node's table for nothing.
