@@ -26,6 +26,10 @@ pub struct ServeBaseline {
     /// Lazy-oracle row-cache capacity (`RTR_CACHE`) — changes both the row
     /// count (prefetch clamp) and the peak resident rows.
     pub cache_rows: usize,
+    /// Verification mode of the run (`RTR_VERIFY`: `off` / `sampled` /
+    /// `full`).  Baselines recorded with verification also gate the
+    /// verify-mode scheme fields; `off` baselines ignore them.
+    pub verify_mode: String,
     /// Oracle rows (Dijkstras) computed by the **suite build** alone.
     pub build_rows_computed: usize,
     /// Peak resident oracle rows over the whole run (build + serving).
@@ -47,6 +51,16 @@ pub struct SchemeBaseline {
     pub worst_sampled_stretch: f64,
     /// Lowest queries/sec over the workloads (host-dependent; warn-only).
     pub min_queries_per_sec: f64,
+    /// Queries checked by the verification plane across all workloads
+    /// (0 when the run's verify mode is `off`; `queries · workloads` under
+    /// full verification — deterministic, gated exactly).
+    pub verified_queries: u64,
+    /// Checked queries that exceeded the scheme's proven stretch ceiling.
+    /// Any non-zero current value is a hard CI failure.
+    pub verify_violations: u64,
+    /// Worst verified stretch across all workloads (exact integer
+    /// comparison rendered as a float; deterministic given the seeds).
+    pub worst_verified_stretch: f64,
 }
 
 impl ServeBaseline {
@@ -59,6 +73,7 @@ impl ServeBaseline {
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"stretch_samples\": {},", self.stretch_samples);
         let _ = writeln!(out, "  \"cache_rows\": {},", self.cache_rows);
+        let _ = writeln!(out, "  \"verify_mode\": \"{}\",", self.verify_mode);
         let _ = writeln!(out, "  \"build_rows_computed\": {},", self.build_rows_computed);
         let _ = writeln!(out, "  \"peak_resident_rows\": {},", self.peak_resident_rows);
         out.push_str("  \"schemes\": [\n");
@@ -66,12 +81,17 @@ impl ServeBaseline {
             let _ = write!(
                 out,
                 "    {{\"scheme\": \"{}\", \"table_bytes\": {}, \"worst_node_bits\": {}, \
-                 \"worst_sampled_stretch\": {:.6}, \"min_queries_per_sec\": {:.1}}}",
+                 \"worst_sampled_stretch\": {:.6}, \"min_queries_per_sec\": {:.1}, \
+                 \"verified_queries\": {}, \"verify_violations\": {}, \
+                 \"worst_verified_stretch\": {:.6}}}",
                 s.scheme,
                 s.table_bytes,
                 s.worst_node_bits,
                 s.worst_sampled_stretch,
-                s.min_queries_per_sec
+                s.min_queries_per_sec,
+                s.verified_queries,
+                s.verify_violations,
+                s.worst_verified_stretch
             );
             out.push_str(if i + 1 < self.schemes.len() { ",\n" } else { "\n" });
         }
@@ -80,6 +100,9 @@ impl ServeBaseline {
     }
 
     /// Parses an artifact previously written by [`to_json`](Self::to_json).
+    ///
+    /// The verify-mode fields are optional with `off`/zero defaults, so
+    /// baselines recorded before the verification plane still parse.
     ///
     /// # Errors
     ///
@@ -97,6 +120,18 @@ impl ServeBaseline {
                     worst_node_bits: s.field("worst_node_bits")?.as_u64()?,
                     worst_sampled_stretch: s.field("worst_sampled_stretch")?.as_f64()?,
                     min_queries_per_sec: s.field("min_queries_per_sec")?.as_f64()?,
+                    verified_queries: match s.field_opt("verified_queries") {
+                        Some(v) => v.as_u64()?,
+                        None => 0,
+                    },
+                    verify_violations: match s.field_opt("verify_violations") {
+                        Some(v) => v.as_u64()?,
+                        None => 0,
+                    },
+                    worst_verified_stretch: match s.field_opt("worst_verified_stretch") {
+                        Some(v) => v.as_f64()?,
+                        None => 0.0,
+                    },
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -106,6 +141,10 @@ impl ServeBaseline {
             seed: value.field("seed")?.as_u64()?,
             stretch_samples: value.field("stretch_samples")?.as_u64()? as usize,
             cache_rows: value.field("cache_rows")?.as_u64()? as usize,
+            verify_mode: match value.field_opt("verify_mode") {
+                Some(v) => v.as_string()?,
+                None => "off".to_string(),
+            },
             build_rows_computed: value.field("build_rows_computed")?.as_u64()? as usize,
             peak_resident_rows: value.field("peak_resident_rows")?.as_u64()? as usize,
             schemes,
@@ -139,17 +178,26 @@ pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String
     let mut warnings = Vec::new();
     // Every knob that changes a gated (deterministic) number must match, or
     // the diff compares incompatible runs.
-    let config =
-        |b: &ServeBaseline| (b.n, b.queries_per_workload, b.seed, b.stretch_samples, b.cache_rows);
+    let config = |b: &ServeBaseline| {
+        (
+            b.n,
+            b.queries_per_workload,
+            b.seed,
+            b.stretch_samples,
+            b.cache_rows,
+            b.verify_mode.clone(),
+        )
+    };
     if config(baseline) != config(current) {
         failures.push(format!(
-            "configuration mismatch: baseline is (n, queries, seed, samples, cache) = {:?}, \
-             current is {:?} (regenerate the baseline, see README)",
+            "configuration mismatch: baseline is (n, queries, seed, samples, cache, verify) = \
+             {:?}, current is {:?} (regenerate the baseline, see README)",
             config(baseline),
             config(current)
         ));
         return (failures, warnings);
     }
+    let verifying = baseline.verify_mode != "off";
     let rows_limit = baseline.build_rows_computed as f64 * (1.0 + ROWS_SLACK);
     if (current.build_rows_computed as f64) > rows_limit {
         failures.push(format!(
@@ -205,6 +253,29 @@ pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String
                 want.scheme, want.min_queries_per_sec, got.min_queries_per_sec
             ));
         }
+        if verifying {
+            // Checked-query counts are exact (mode × stream length), so any
+            // drift means the verification plane silently skipped queries.
+            if got.verified_queries != want.verified_queries {
+                failures.push(format!(
+                    "{}: verified queries changed {} → {} — verification coverage drifted",
+                    want.scheme, want.verified_queries, got.verified_queries
+                ));
+            }
+            if got.verify_violations > 0 {
+                failures.push(format!(
+                    "{}: {} verified queries exceeded the proven stretch bound",
+                    want.scheme, got.verify_violations
+                ));
+            }
+            let verified_limit = want.worst_verified_stretch * (1.0 + DETERMINISTIC_SLACK);
+            if got.worst_verified_stretch > verified_limit {
+                failures.push(format!(
+                    "{}: worst verified stretch regressed {:.3} → {:.3}",
+                    want.scheme, want.worst_verified_stretch, got.worst_verified_stretch
+                ));
+            }
+        }
     }
     // Symmetric check: a scheme served by the current run but absent from
     // the baseline would otherwise pass CI completely ungated.
@@ -240,13 +311,18 @@ impl JsonValue {
     }
 
     fn field(&self, key: &str) -> Result<&JsonValue, String> {
+        if !matches!(self, JsonValue::Object(_)) {
+            return Err(format!("expected an object, found {self:?}"));
+        }
+        self.field_opt(key).ok_or_else(|| format!("missing field \"{key}\""))
+    }
+
+    /// Optional-field lookup (`None` on a missing key *or* a non-object),
+    /// used for the verify-mode fields older baselines predate.
+    fn field_opt(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field \"{key}\"")),
-            other => Err(format!("expected an object, found {other:?}")),
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
         }
     }
 
@@ -405,6 +481,7 @@ mod tests {
             seed: 42,
             stretch_samples: 2000,
             cache_rows: 16,
+            verify_mode: "full".into(),
             build_rows_computed: 2442,
             peak_resident_rows: 16,
             schemes: vec![
@@ -414,6 +491,9 @@ mod tests {
                     worst_node_bits: 51_000,
                     worst_sampled_stretch: 3.806,
                     min_queries_per_sec: 650_000.0,
+                    verified_queries: 100_000,
+                    verify_violations: 0,
+                    worst_verified_stretch: 3.806,
                 },
                 SchemeBaseline {
                     scheme: "exstretch".into(),
@@ -421,6 +501,9 @@ mod tests {
                     worst_node_bits: 63_000,
                     worst_sampled_stretch: 9.576,
                     min_queries_per_sec: 300_000.0,
+                    verified_queries: 100_000,
+                    verify_violations: 0,
+                    worst_verified_stretch: 10.4,
                 },
             ],
         }
@@ -466,12 +549,78 @@ mod tests {
     }
 
     #[test]
+    fn verify_regressions_are_hard_failures() {
+        let base = sample();
+
+        let mut cur = sample();
+        cur.schemes[0].verify_violations = 3;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("exceeded the proven stretch bound")));
+
+        let mut cur = sample();
+        cur.schemes[0].verified_queries = 99_000;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("coverage drifted")), "{failures:?}");
+
+        let mut cur = sample();
+        cur.schemes[1].worst_verified_stretch = base.schemes[1].worst_verified_stretch * 1.1;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("worst verified stretch")), "{failures:?}");
+
+        // With verification off on both sides the verify fields are inert.
+        let mut base = sample();
+        let mut cur = sample();
+        for b in [&mut base, &mut cur] {
+            b.verify_mode = "off".into();
+            for s in &mut b.schemes {
+                s.verified_queries = 0;
+                s.worst_verified_stretch = 0.0;
+            }
+        }
+        cur.schemes[0].verified_queries = 77; // nonsense, but not gated
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn pre_verification_baselines_parse_with_off_defaults() {
+        let mut b = sample();
+        b.verify_mode = "off".into();
+        for s in &mut b.schemes {
+            s.verified_queries = 0;
+            s.verify_violations = 0;
+            s.worst_verified_stretch = 0.0;
+        }
+        // Strip the verify fields from the JSON, mimicking an old artifact.
+        let json: String = b
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("verify_mode"))
+            .map(|l| {
+                let l = match l.find(", \"verified_queries\"") {
+                    Some(at) => {
+                        format!("{}}}{}", &l[..at], if l.ends_with(',') { "," } else { "" })
+                    }
+                    None => l.to_string(),
+                };
+                format!("{l}\n")
+            })
+            .collect();
+        let parsed = ServeBaseline::from_json(&json).unwrap();
+        assert_eq!(parsed.verify_mode, "off");
+        assert_eq!(parsed.schemes[0].verified_queries, 0);
+        let (failures, _) = compare(&b, &parsed);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
     fn configuration_mismatch_is_a_hard_failure() {
         for mutate in [
             (|b: &mut ServeBaseline| b.n = 20_000) as fn(&mut ServeBaseline),
             |b| b.seed = 7,
             |b| b.stretch_samples = 500,
             |b| b.cache_rows = 400,
+            |b| b.verify_mode = "off".into(),
         ] {
             let base = sample();
             let mut cur = sample();

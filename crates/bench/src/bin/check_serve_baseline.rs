@@ -1,13 +1,17 @@
-//! CI gate: diff a fresh `BENCH_serve.json` (written by `serve_throughput`)
-//! against the checked-in seed baseline.
+//! CI gate: diff fresh `BENCH_serve.json` artifacts (written by
+//! `serve_throughput`) against the checked-in seed baselines.
 //!
-//! Usage: `check_serve_baseline <baseline.json> <current.json>`
+//! Usage: `check_serve_baseline <baseline.json> <current.json> [<baseline2>
+//! <current2> …]` — each pair is diffed independently (CI gates the n = 600
+//! smoke and the n = 2000 verified run in one invocation) and any failing
+//! pair fails the gate.
 //!
 //! Exits non-zero when a gated quantity regressed beyond tolerance — scheme
-//! table bytes, worst-node table bits, worst sampled stretch (all
-//! deterministic given the run's seeds), or the suite-build oracle-row count
-//! (the shared-sweep budget).  Throughput differences only warn: queries/sec
-//! is a property of the host, not of the code alone.
+//! table bytes, worst-node table bits, worst sampled stretch, verified-query
+//! coverage, bound violations, worst verified stretch (all deterministic
+//! given the run's seeds), or the suite-build oracle-row count (the
+//! shared-sweep budget).  Throughput differences only warn: queries/sec is a
+//! property of the host, not of the code alone.
 //!
 //! To update the baseline **intentionally** (a change that is supposed to
 //! shrink tables or rows, or a new scheme), regenerate it with the CI smoke
@@ -29,28 +33,38 @@ fn load(path: &str) -> ServeBaseline {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    if args.len() != 3 {
-        eprintln!("usage: check_serve_baseline <baseline.json> <current.json>");
+    if args.len() < 3 || args.len() % 2 != 1 {
+        eprintln!(
+            "usage: check_serve_baseline <baseline.json> <current.json> \
+             [<baseline2.json> <current2.json> …]"
+        );
         std::process::exit(2);
     }
-    let baseline = load(&args[1]);
-    let current = load(&args[2]);
-    let (failures, warnings) = compare(&baseline, &current);
-    for w in &warnings {
-        println!("WARN: {w}");
+    let mut failed = false;
+    for pair in args[1..].chunks_exact(2) {
+        let baseline = load(&pair[0]);
+        let current = load(&pair[1]);
+        let (failures, warnings) = compare(&baseline, &current);
+        for w in &warnings {
+            println!("WARN: {}: {w}", pair[0]);
+        }
+        if failures.is_empty() {
+            println!(
+                "baseline ok: n = {}, verify {}, build rows {} (baseline {}), {} schemes gated",
+                current.n,
+                current.verify_mode,
+                current.build_rows_computed,
+                baseline.build_rows_computed,
+                baseline.schemes.len()
+            );
+            continue;
+        }
+        for f in &failures {
+            eprintln!("FAIL: {}: {f}", pair[0]);
+        }
+        failed = true;
     }
-    if failures.is_empty() {
-        println!(
-            "baseline ok: n = {}, build rows {} (baseline {}), {} schemes gated",
-            current.n,
-            current.build_rows_computed,
-            baseline.build_rows_computed,
-            baseline.schemes.len()
-        );
-        return;
+    if failed {
+        std::process::exit(1);
     }
-    for f in &failures {
-        eprintln!("FAIL: {f}");
-    }
-    std::process::exit(1);
 }

@@ -61,7 +61,7 @@ fn main() {
             let scheme = ExStretch::build(g, m, names, substrate, ExStretchParams::with_k(k));
             let eval = SchemeEvaluation::measure(g, m, names, &scheme, cfg.selection(n, k as u64))
                 .unwrap();
-            let bound = ((1u64 << k) - 1) as f64 * beta;
+            let bound = scheme.paper_stretch_bound().expect("tree-cover β is proven") as f64;
             assert!(eval.max_stretch <= bound + 1e-9);
             println!(
                 "{:<6} {:>4} {:>6.1} {:>9.3} {:>9.3} {:>10.1} {:>12}",

@@ -26,6 +26,18 @@
 //! the checked-in seed baseline `ci/BENCH_serve.json` — see the
 //! `check_serve_baseline` binary and the README's baseline-workflow section.
 //!
+//! **Verification modes** (`RTR_VERIFY=off|sampled|full`, default `off`):
+//! after the unverified pass, each scheme is served again through
+//! [`rtr_engine::Engine::serve_verified`] — every (or every stride-th)
+//! query's measured cost checked against the exact roundtrip metric via
+//! destination-batched row lookups on a **dedicated** verification oracle
+//! (`RTR_VERIFY_CACHE` rows, default `2n` so each distinct destination's
+//! rows are computed once across workers).  Schemes with a proven ceiling
+//! (`exstretch`, `polystretch`) hard-fail the run on any violating query;
+//! `RTR_VERIFY_MAX_SLOWDOWN` (e.g. `2.0`) additionally fails the run if the
+//! verified serving wall exceeds that multiple of the unverified wall — the
+//! CI guard that full-stream verification stays affordable.
+//!
 //! Environment: `RTR_N` (default 10 000 — CI smoke and local large-n runs
 //! share this binary by overriding it), `RTR_QUERIES` per workload (default
 //! 200 000), `RTR_WORKERS` (default: available parallelism), `RTR_CACHE`
@@ -33,19 +45,22 @@
 //! (default 2 000), `RTR_SEED` (default 42), `RTR_BENCH_JSON` artifact path
 //! (default `BENCH_serve.json`), `RTR_MAX_BUILD_ROW_FACTOR` — when set, the
 //! run **fails** if the suite build computed more than `factor · n` oracle
-//! rows (the CI guard for the shared-sweep row budget).
+//! rows (the CI guard for the shared-sweep row budget) — plus the
+//! `RTR_VERIFY*` knobs above.
 
 use rtr_bench::banner;
 use rtr_bench::baseline::{SchemeBaseline, ServeBaseline};
 use rtr_core::naming::NamingAssignment;
 use rtr_core::{SparseSchemeSuite, SparseSuiteParams};
-use rtr_engine::{Engine, EngineConfig, FrozenPlane, Workload};
+use rtr_engine::{
+    Engine, EngineConfig, FrozenPlane, StretchBound, VerifyConfig, VerifyMode, Workload,
+};
 use rtr_graph::generators::ring_with_chords;
 use rtr_graph::NodeId;
 use rtr_metric::LazyDijkstraOracle;
 use rtr_sim::RoundtripRouting;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -78,13 +93,18 @@ fn report_tables<S: RoundtripRouting>(plane: &FrozenPlane<S>) -> (u64, u64) {
     ((total_bits / 8) as u64, max_node_bits as u64)
 }
 
+/// Serves every workload unverified, returning the scheme's baseline row
+/// plus the accumulated serving wall — the engine's own serving clock plus
+/// the sampled-stretch post-processing (the two costs full verification
+/// subsumes), deliberately excluding table-stats sweeps and printing so the
+/// verify-slowdown gate compares like with like.
 fn serve_all<S>(
     plane: &FrozenPlane<S>,
     engine: &Engine,
     m: &LazyDijkstraOracle<'_>,
     queries: usize,
     seed: u64,
-) -> SchemeBaseline
+) -> (SchemeBaseline, Duration)
 where
     S: RoundtripRouting + Send + Sync,
 {
@@ -99,6 +119,7 @@ where
     );
     let mut worst_stretch: f64 = 0.0;
     let mut min_qps = f64::INFINITY;
+    let mut serving_wall = Duration::ZERO;
     for workload in Workload::ALL {
         let requests = workload.generate(plane.node_count(), queries, seed);
         let summary = engine
@@ -106,7 +127,9 @@ where
             .unwrap_or_else(|e| panic!("{} under {}: {e}", plane.scheme_name(), workload.name()));
         assert_eq!(summary.queries, queries);
         let (h50, h95, h99) = summary.hop_latency();
+        let stretch_started = Instant::now();
         let stretch = summary.stretch_summary(m).expect("strided sample is never empty");
+        serving_wall += summary.elapsed + stretch_started.elapsed();
         worst_stretch = worst_stretch.max(stretch.max);
         min_qps = min_qps.min(summary.queries_per_sec());
         println!(
@@ -126,13 +149,76 @@ where
         stats.peak_resident_rows,
         100.0 * stats.peak_resident_rows as f64 / plane.node_count() as f64
     );
-    SchemeBaseline {
+    let baseline = SchemeBaseline {
         scheme: plane.scheme_name().to_string(),
         table_bytes,
         worst_node_bits,
         worst_sampled_stretch: worst_stretch,
         min_queries_per_sec: min_qps,
+        verified_queries: 0,
+        verify_violations: 0,
+        worst_verified_stretch: 0.0,
+    };
+    (baseline, serving_wall)
+}
+
+/// Serves every workload again through the verification plane, updating
+/// `base` with the scheme's verify-mode numbers and returning the
+/// accumulated verified serving wall (the engine's serving clock, which
+/// includes the in-flight bucket flushes; exact stretch needs no
+/// post-processing).  Hard-panics (non-zero exit) if a query exceeds a
+/// configured proven bound — that is the point of oracle-backed serving.
+fn verify_all<S>(
+    plane: &FrozenPlane<S>,
+    engine: &Engine,
+    verify_oracle: &LazyDijkstraOracle<'_>,
+    config: &VerifyConfig,
+    queries: usize,
+    seed: u64,
+    base: &mut SchemeBaseline,
+) -> Duration
+where
+    S: RoundtripRouting + Send + Sync,
+{
+    println!(
+        "\n{:<14} {:>10} {:>9} {:>7} {:>22} {:>7} {:>10}",
+        format!("{} ✓", plane.scheme_name()),
+        "queries/s",
+        "checked",
+        "viols",
+        "verified p50/p95/p99",
+        "max-str",
+        "row-fetch"
+    );
+    let mut serving_wall = Duration::ZERO;
+    for workload in Workload::ALL {
+        let requests = workload.generate(plane.node_count(), queries, seed);
+        let outcome =
+            engine.serve_verified(plane, &requests, verify_oracle, config).unwrap_or_else(|e| {
+                panic!("{} under {} failed verification: {e}", plane.scheme_name(), workload.name())
+            });
+        serving_wall += outcome.summary.elapsed;
+        let report = &outcome.report;
+        println!(
+            "  {:<12} {:>10.0} {:>9} {:>7} {:>22} {:>7.3} {:>10}",
+            workload.name(),
+            outcome.summary.queries_per_sec(),
+            report.checked,
+            report.violations.len(),
+            format!(
+                "{:.3}/{:.3}/{:.3}",
+                report.histogram.percentile(0.50),
+                report.histogram.percentile(0.95),
+                report.histogram.percentile(0.99)
+            ),
+            report.max_stretch(),
+            outcome.cost.row_fetches,
+        );
+        base.verified_queries += report.checked as u64;
+        base.verify_violations += report.violations.len() as u64;
+        base.worst_verified_stretch = base.worst_verified_stretch.max(report.max_stretch());
     }
+    serving_wall
 }
 
 fn main() {
@@ -145,6 +231,13 @@ fn main() {
     let cache_rows = env_usize("RTR_CACHE", (n / 50).max(16));
     let samples = env_usize("RTR_SAMPLES", 2_000).max(1);
     let seed = env_usize("RTR_SEED", 42) as u64;
+    let verify_mode = match std::env::var("RTR_VERIFY").as_deref() {
+        Err(_) | Ok("off") => VerifyMode::Off,
+        Ok("full") => VerifyMode::Full,
+        Ok("sampled") => VerifyMode::Sampled { stride: (queries / samples).max(1) },
+        Ok(other) => panic!("RTR_VERIFY must be off|sampled|full, got {other}"),
+    };
+    let verify_cache = env_usize("RTR_VERIFY_CACHE", (2 * n).max(64));
 
     banner(&format!(
         "E13: serving throughput, n = {n}, {queries} queries/workload, {workers} workers"
@@ -182,6 +275,17 @@ fn main() {
         println!("build row budget ok: {} <= {factor}·n = {limit}", build_stats.rows_computed);
     }
 
+    // The proven stretch ceilings the verification plane enforces: the §3
+    // scheme's (2^k − 1)·β over the tree-cover substrate and the §4 paper
+    // bound.  The sparse §2 scheme rides the landmark substrate, whose
+    // stretch is measured-not-proven (DESIGN.md substitution), so it
+    // verifies without a hard ceiling.
+    let ex_bound = suite
+        .exstretch
+        .paper_stretch_bound()
+        .expect("tree-cover substrate carries a proven stretch");
+    let poly_bound = suite.poly.paper_stretch_bound();
+
     let (stretch6, exstretch, poly) = suite.into_parts();
     let frozen_names = Arc::new(names.to_names());
     let plane6 = FrozenPlane::freeze(Arc::clone(&g), stretch6, Arc::clone(&frozen_names));
@@ -193,11 +297,80 @@ fn main() {
     let engine = Engine::new(config);
 
     banner("serving");
-    let schemes = vec![
+    let mut unverified_wall = Duration::ZERO;
+    let mut schemes = Vec::with_capacity(3);
+    for (baseline, wall) in [
         serve_all(&plane6, &engine, &oracle, queries, seed ^ 0x6001),
         serve_all(&planex, &engine, &oracle, queries, seed ^ 0x6002),
         serve_all(&planep, &engine, &oracle, queries, seed ^ 0x6003),
-    ];
+    ] {
+        schemes.push(baseline);
+        unverified_wall += wall;
+    }
+
+    if verify_mode != VerifyMode::Off {
+        banner(&format!("verification ({} mode)", verify_mode.name()));
+        let verify_oracle = LazyDijkstraOracle::new(&g, verify_cache);
+        let config = |bound: Option<StretchBound>| VerifyConfig {
+            mode: verify_mode,
+            bound,
+            ..VerifyConfig::default()
+        };
+        let mut verified_wall = Duration::ZERO;
+        verified_wall += verify_all(
+            &plane6,
+            &engine,
+            &verify_oracle,
+            &config(None),
+            queries,
+            seed ^ 0x6001,
+            &mut schemes[0],
+        );
+        verified_wall += verify_all(
+            &planex,
+            &engine,
+            &verify_oracle,
+            &config(Some(StretchBound::at_most(ex_bound))),
+            queries,
+            seed ^ 0x6002,
+            &mut schemes[1],
+        );
+        verified_wall += verify_all(
+            &planep,
+            &engine,
+            &verify_oracle,
+            &config(Some(StretchBound::at_most(poly_bound))),
+            queries,
+            seed ^ 0x6003,
+            &mut schemes[2],
+        );
+        let vstats = verify_oracle.stats();
+        println!(
+            "\nverification oracle: rows computed {}, cache hits {}, peak resident {} \
+             ({:.1}% of n)",
+            vstats.rows_computed,
+            vstats.cache_hits,
+            vstats.peak_resident_rows,
+            100.0 * vstats.peak_resident_rows as f64 / n as f64
+        );
+        println!(
+            "verified serving wall {:.1?} vs unverified {:.1?} ({:.2}×)",
+            verified_wall,
+            unverified_wall,
+            verified_wall.as_secs_f64() / unverified_wall.as_secs_f64().max(1e-9)
+        );
+        if let Ok(factor) = std::env::var("RTR_VERIFY_MAX_SLOWDOWN") {
+            let factor: f64 = factor.parse().expect("RTR_VERIFY_MAX_SLOWDOWN must be a number");
+            let ratio = verified_wall.as_secs_f64() / unverified_wall.as_secs_f64().max(1e-9);
+            if ratio > factor {
+                eprintln!(
+                    "FAIL: verified serving took {ratio:.2}× the unverified wall, budget {factor}×"
+                );
+                std::process::exit(1);
+            }
+            println!("verify slowdown budget ok: {ratio:.2}× <= {factor}×");
+        }
+    }
 
     let stats = oracle.stats();
     banner("oracle");
@@ -216,6 +389,7 @@ fn main() {
         seed,
         stretch_samples: samples,
         cache_rows,
+        verify_mode: verify_mode.name().to_string(),
         build_rows_computed: build_stats.rows_computed,
         peak_resident_rows: stats.peak_resident_rows,
         schemes,

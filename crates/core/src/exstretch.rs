@@ -287,6 +287,19 @@ impl<S: NameDependentSubstrate> ExStretch<S> {
         &self.substrate
     }
 
+    /// The scheme's proven stretch ceiling `(2^k − 1)·β`, where `β` is the
+    /// substrate's guaranteed pairwise roundtrip stretch (Theorem 13's
+    /// `4(2k_c − 1)` for the tree-cover substrate, 1 for the exact oracle).
+    /// `None` when the substrate's stretch is measured, not proven — the
+    /// single source every bound assertion (tests, the engine's verification
+    /// plane, the serving benches) must enforce, mirroring
+    /// [`crate::PolynomialStretch::paper_stretch_bound`].
+    pub fn paper_stretch_bound(&self) -> Option<u64> {
+        self.substrate
+            .guaranteed_roundtrip_stretch()
+            .map(|beta| ((1u64 << self.k) - 1) * beta as u64)
+    }
+
     /// Table size of the TINN dictionary layer alone (excluding the
     /// substrate), for the Õ(k·n^{1/k}) space check.
     pub fn dictionary_stats(&self, v: NodeId) -> TableStats {
@@ -526,10 +539,10 @@ mod tests {
         let m = DistanceMatrix::build(&g);
         let names = NamingAssignment::random(40, 7);
         let substrate = TreeCoverScheme::build(&g, &m, 2);
-        let beta = substrate.guaranteed_roundtrip_stretch().unwrap() as u64;
         let k = 2u32;
         let scheme = ExStretch::build(&g, &m, &names, substrate, ExStretchParams::with_k(k));
-        let bound = ((1u64 << k) - 1) * beta;
+        let bound = scheme.paper_stretch_bound().unwrap();
+        assert_eq!(bound, ((1u64 << k) - 1) * 12);
         check_all_pairs(&g, &m, &names, &scheme, Some((bound, 1)));
     }
 

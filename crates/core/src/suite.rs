@@ -292,9 +292,7 @@ mod tests {
         let sim = Simulator::new(&g);
         // The tree-cover substrate gives the sparse exstretch a *proven*
         // budget: (2^k − 1)·β with β = 4(2k_c − 1).
-        use rtr_namedep::NameDependentSubstrate;
-        let beta = suite.exstretch.substrate().guaranteed_roundtrip_stretch().unwrap() as u64;
-        let ex_bound = ((1u64 << suite.exstretch.k()) - 1) * beta;
+        let ex_bound = suite.exstretch.paper_stretch_bound().unwrap();
         for s in g.nodes() {
             for t in g.nodes() {
                 if s == t {

@@ -3,7 +3,9 @@
 
 use crate::plane::FrozenPlane;
 use crate::stats::{ServeSummary, WorkerStats};
+use crate::verify::{VerifiedServe, VerifyAccumulator, VerifyConfig, VerifyServeError};
 use crate::workload::Request;
+use rtr_metric::DistanceOracle;
 use rtr_sim::{RoundtripReport, RoundtripRouting, SimError, Simulator};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -89,12 +91,82 @@ impl Engine {
                 stats.record(&brief, index % stride == 0);
                 Ok(())
             },
+            |_| Ok(()),
         )?;
         let mut merged = WorkerStats::new();
         for stats in per_worker {
             merged.merge(stats);
         }
         Ok(ServeSummary::from_stats(merged, workers, started.elapsed()))
+    }
+
+    /// Serves every request **and verifies it against the exact metric**:
+    /// the oracle-backed serving regime.
+    ///
+    /// Depending on [`VerifyConfig::mode`], none, a strided sample, or the
+    /// **full stream** of requests is checked: each worker batches its
+    /// checked trips into bounded per-destination buckets and flushes every
+    /// bucket through one shared roundtrip row of `oracle`
+    /// ([`rtr_metric::roundtrip_rows_batched`]), comparing each trip's
+    /// measured cost against the exact roundtrip distance in integer
+    /// arithmetic.  The returned [`VerifiedServe`] carries the ordinary
+    /// serving summary (its strided stretch sample is empty — verification
+    /// supersedes it), the deterministic [`crate::VerifiedReport`]
+    /// (bit-identical for any worker count), and the schedule-dependent
+    /// flush/row cost counters.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyServeError::Sim`] on the first simulator error any worker
+    /// encounters, and — in strict mode with a configured bound —
+    /// [`VerifyServeError::BoundExceeded`] when any checked trip exceeds the
+    /// scheme's stretch ceiling.
+    pub fn serve_verified<S, O>(
+        &self,
+        plane: &FrozenPlane<S>,
+        requests: &[Request],
+        oracle: &O,
+        verify: &VerifyConfig,
+    ) -> Result<VerifiedServe, VerifyServeError>
+    where
+        S: RoundtripRouting + Send + Sync,
+        O: DistanceOracle + ?Sized,
+    {
+        let workers = self.config.workers.max(1);
+        let mode = verify.mode;
+        let started = Instant::now();
+        let per_worker = self.run_pool(
+            plane,
+            requests,
+            || (WorkerStats::new(), VerifyAccumulator::new(verify)),
+            |sim, plane, index, req, (stats, acc): &mut (WorkerStats, VerifyAccumulator)| {
+                let brief =
+                    sim.roundtrip_brief(plane.scheme(), req.src, req.dst, plane.name_of(req.dst))?;
+                stats.record(&brief, false);
+                if mode.checks(index) {
+                    acc.push(oracle, index, req, brief.total_weight());
+                }
+                Ok(())
+            },
+            |(_, acc)| {
+                acc.flush(oracle);
+                Ok(())
+            },
+        )?;
+        let mut merged = WorkerStats::new();
+        let mut accs = Vec::with_capacity(per_worker.len());
+        for (stats, acc) in per_worker {
+            merged.merge(stats);
+            accs.push(acc);
+        }
+        let queries = merged.queries;
+        let summary = ServeSummary::from_stats(merged, workers, started.elapsed());
+        let (report, cost) = VerifyAccumulator::merge_all(accs, queries);
+        let outcome = VerifiedServe { summary, report, cost };
+        if verify.strict && !outcome.report.is_clean() {
+            return Err(VerifyServeError::BoundExceeded(Box::new(outcome)));
+        }
+        Ok(outcome)
     }
 
     /// Runs every request and returns the full [`RoundtripReport`]s **in
@@ -123,19 +195,23 @@ impl Engine {
                 out.push((index, report));
                 Ok(())
             },
+            |_| Ok(()),
         )?;
         let mut indexed: Vec<(usize, RoundtripReport)> = per_worker.into_iter().flatten().collect();
         indexed.sort_by_key(|&(i, _)| i);
         Ok(indexed.into_iter().map(|(_, r)| r).collect())
     }
 
-    /// The single work-stealing pool behind [`serve`](Self::serve) and
+    /// The single work-stealing pool behind [`serve`](Self::serve),
+    /// [`serve_verified`](Self::serve_verified) and
     /// [`collect`](Self::collect): a shared atomic chunk counter hands out
     /// request batches, `handle` processes one request into the worker's
     /// private accumulator (created by `init`), a failing worker trips the
-    /// abort flag so the others stop at their next chunk boundary, and the
-    /// per-worker accumulators are returned after the join (worker order).
-    /// Worker panics propagate with their original payload.
+    /// abort flag so the others stop at their next chunk boundary, `finish`
+    /// runs once per worker after its last chunk (the verification plane
+    /// drains its remaining destination buckets there), and the per-worker
+    /// accumulators are returned after the join (worker order).  Worker
+    /// panics propagate with their original payload.
     fn run_pool<S, A>(
         &self,
         plane: &FrozenPlane<S>,
@@ -143,6 +219,7 @@ impl Engine {
         init: impl Fn() -> A + Sync,
         handle: impl Fn(&Simulator<'_>, &FrozenPlane<S>, usize, &Request, &mut A) -> Result<(), SimError>
             + Sync,
+        finish: impl Fn(&mut A) -> Result<(), SimError> + Sync,
     ) -> Result<Vec<A>, SimError>
     where
         S: RoundtripRouting + Send + Sync,
@@ -155,7 +232,8 @@ impl Engine {
         let result = crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
-                    let (next, failed, init, handle) = (&next, &failed, &init, &handle);
+                    let (next, failed, init, handle, finish) =
+                        (&next, &failed, &init, &handle, &finish);
                     scope.spawn(move |_| -> Result<A, SimError> {
                         let sim = plane.simulator();
                         let mut acc = init();
@@ -170,6 +248,16 @@ impl Engine {
                                     failed.store(true, Ordering::Relaxed);
                                     return Err(e);
                                 }
+                            }
+                        }
+                        // Skip the finish hook after an abort: the pool is
+                        // about to return the error and discard every
+                        // accumulator, so a final verification flush would
+                        // pay its oracle rows for nothing.
+                        if !failed.load(Ordering::Relaxed) {
+                            if let Err(e) = finish(&mut acc) {
+                                failed.store(true, Ordering::Relaxed);
+                                return Err(e);
                             }
                         }
                         Ok(acc)

@@ -21,14 +21,26 @@
 //!   from an exact histogram, and an exact stretch distribution over a
 //!   strided sample, answered destination-row-by-destination-row so lazy
 //!   oracles stay cheap.
+//! * [`VerifyMode`] / [`Engine::serve_verified`] — the **verification
+//!   plane**: off / sampled / full-stream checking of every served trip
+//!   against a [`rtr_metric::DistanceOracle`].  Workers batch checked trips
+//!   into bounded per-destination buckets and flush each bucket through one
+//!   shared roundtrip row, so verification pays two Dijkstras per *distinct
+//!   destination* per flush window instead of two per query; the
+//!   [`VerifiedReport`] (exact fixed-point stretch histogram, worst trip,
+//!   bound violations) is bit-identical for any worker count and hard-fails
+//!   — [`VerifyServeError::BoundExceeded`] — when a trip exceeds the
+//!   scheme's proven stretch ceiling.
 //!
 //! The engine is **observationally identical** to the sequential simulator:
 //! [`Engine::collect`] returns the very [`rtr_sim::RoundtripReport`]s a
-//! sequential loop produces, in request order, for any worker count — a
-//! property the test-suite enforces per scheme and workload.
+//! sequential loop produces, in request order, for any worker count — and
+//! [`Engine::serve_verified`] reproduces the sequential oracle-checked
+//! replay [`verify_sequential`] bit for bit — properties the test-suite
+//! enforces per scheme, workload, and oracle flavor.
 //!
 //! ```
-//! use rtr_engine::{Engine, EngineConfig, FrozenPlane, Workload};
+//! use rtr_engine::{Engine, EngineConfig, FrozenPlane, StretchBound, VerifyConfig, Workload};
 //! use rtr_core::naming::NamingAssignment;
 //! use rtr_core::{Stretch6Params, StretchSix};
 //! use rtr_graph::generators::strongly_connected_gnp;
@@ -45,10 +57,18 @@
 //! let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
 //!
 //! let requests = Workload::Zipf { exponent: 1.2 }.generate(g.node_count(), 4_000, 9);
-//! let summary = Engine::new(EngineConfig::with_workers(4)).serve(&plane, &requests)?;
+//! let engine = Engine::new(EngineConfig::with_workers(4));
+//! let summary = engine.serve(&plane, &requests)?;
 //! assert_eq!(summary.queries, 4_000);
 //! let stretch = summary.stretch_summary(&m).expect("samples were collected");
 //! assert!(stretch.max <= 6.0 + 1e-9); // the §2 scheme's hard bound
+//!
+//! // Full-stream verification: every query checked against the exact
+//! // metric, hard-failing if any trip exceeded the proven stretch 6.
+//! let config = VerifyConfig::full().with_bound(StretchBound::at_most(6));
+//! let verified = engine.serve_verified(&plane, &requests, &m, &config)?;
+//! assert_eq!(verified.report.checked, 4_000);
+//! assert!(verified.report.is_clean());
 //! # Ok(())
 //! # }
 //! ```
@@ -60,9 +80,14 @@
 mod engine;
 mod plane;
 mod stats;
+mod verify;
 mod workload;
 
 pub use engine::{Engine, EngineConfig};
 pub use plane::FrozenPlane;
 pub use stats::{ServeSummary, StretchSample, StretchSummary};
+pub use verify::{
+    verify_sequential, StretchBound, StretchHistogram, VerifiedReport, VerifiedServe, VerifiedTrip,
+    VerifyConfig, VerifyCost, VerifyMode, VerifyServeError, STRETCH_HISTOGRAM_SCALE,
+};
 pub use workload::{Request, Workload};

@@ -163,29 +163,33 @@ impl ServeSummary {
     /// Exact stretch distribution of the strided sample, computed against
     /// `m`.
     ///
-    /// Samples are grouped by destination and each group is answered from the
-    /// destination's roundtrip row (`r(s, t) = r(t, s)`), so a lazy oracle
-    /// pays two Dijkstras per *distinct sampled destination* — cheap under
-    /// skewed workloads — instead of two per sample.  Returns `None` when no
-    /// samples were collected.
+    /// Samples are grouped by destination and each group is answered from
+    /// the destination's roundtrip row (`r(s, t) = r(t, s)`) through the
+    /// same batched-row lookup the full-stream verification plane flushes
+    /// its buckets with ([`rtr_metric::roundtrip_rows_batched`]), so a lazy
+    /// oracle pays two Dijkstras per *distinct sampled destination* — cheap
+    /// under skewed workloads — instead of two per sample.  Returns `None`
+    /// when no samples were collected.
     pub fn stretch_summary<O: DistanceOracle + ?Sized>(&self, m: &O) -> Option<StretchSummary> {
         if self.samples.is_empty() {
             return None;
         }
         let mut stretches = Vec::with_capacity(self.samples.len());
-        let mut row: Vec<Distance> = Vec::new();
-        let mut row_dst: Option<NodeId> = None;
-        // `samples` is sorted by destination, so consecutive samples share
-        // the row.
-        for s in &self.samples {
-            if row_dst != Some(s.destination) {
-                row = m.roundtrip_row(s.destination);
-                row_dst = Some(s.destination);
+        // `samples` is sorted by destination: dedup yields each distinct
+        // destination once, in the order the grouped sweep will visit it.
+        let mut dests: Vec<NodeId> = self.samples.iter().map(|s| s.destination).collect();
+        dests.dedup();
+        let mut at = 0usize;
+        rtr_metric::roundtrip_rows_batched(m, &dests, |dst, row| {
+            while at < self.samples.len() && self.samples[at].destination == dst {
+                let s = &self.samples[at];
+                let r = row[s.source.index()];
+                assert!(r > 0 && r != INFINITY, "sampled pair unreachable");
+                stretches.push(s.weight as f64 / r as f64);
+                at += 1;
             }
-            let r = row[s.source.index()];
-            assert!(r > 0 && r != INFINITY, "sampled pair unreachable");
-            stretches.push(s.weight as f64 / r as f64);
-        }
+        });
+        debug_assert_eq!(at, self.samples.len(), "every sample answered from its row");
         stretches.sort_by(|a, b| a.partial_cmp(b).expect("stretch is never NaN"));
         let percentile = |p: f64| -> f64 {
             let idx = ((stretches.len() as f64 - 1.0) * p).round() as usize;

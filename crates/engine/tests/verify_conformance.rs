@@ -1,0 +1,113 @@
+//! The verification plane's core contract: for every scheme, workload, and
+//! oracle flavor, [`Engine::serve_verified`] under [`VerifyMode::Full`]
+//! produces a [`rtr_engine::VerifiedReport`] **bit-identical** across 1, 2
+//! and 8 workers (and across flush thresholds) and equal to
+//! [`verify_sequential`], the sequential oracle-checked replay — checking
+//! 100% of the stream, within each scheme's proven stretch ceiling, in
+//! strict mode.
+
+use proptest::prelude::*;
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{SchemeSuite, SuiteParams};
+use rtr_engine::{
+    verify_sequential, Engine, EngineConfig, FrozenPlane, StretchBound, VerifiedReport,
+    VerifyConfig, VerifyMode, Workload,
+};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_metric::{CachedSubsetOracle, DistanceMatrix, DistanceOracle, LazyDijkstraOracle};
+use rtr_sim::RoundtripRouting;
+use std::sync::Arc;
+
+/// Asserts that full verification of `requests` over `plane` is
+/// schedule-independent: every worker count × oracle flavor × flush
+/// threshold reproduces the sequential dense-oracle replay bit for bit.
+fn check_conformance<S: RoundtripRouting + Send + Sync>(
+    plane: &FrozenPlane<S>,
+    requests: &[rtr_engine::Request],
+    dense: &DistanceMatrix,
+    lazy: &LazyDijkstraOracle<'_>,
+    subset: &CachedSubsetOracle<'_>,
+    bound: StretchBound,
+    label: &str,
+) {
+    let config = VerifyConfig::full().with_bound(bound);
+    let reference: VerifiedReport = verify_sequential(plane, requests, dense, &config)
+        .unwrap_or_else(|e| panic!("{label}: sequential replay failed: {e}"));
+    assert_eq!(reference.checked, requests.len(), "{label}: full mode must check 100%");
+    assert!(reference.is_clean(), "{label}: proven bound violated: {:?}", reference.violations);
+
+    for workers in [1usize, 2, 8] {
+        let engine = Engine::new(EngineConfig::with_workers(workers));
+        for (oracle, oracle_name) in
+            [(dense as &dyn DistanceOracle, "dense"), (lazy, "lazy"), (subset, "subset")]
+        {
+            let outcome = engine
+                .serve_verified(plane, requests, oracle, &config)
+                .unwrap_or_else(|e| panic!("{label}/{oracle_name}({workers}): {e}"));
+            assert_eq!(
+                outcome.report, reference,
+                "{label}/{oracle_name}: report diverged at {workers} workers"
+            );
+        }
+        // A tiny flush threshold forces many mid-stream bucket flushes; the
+        // report must not notice.
+        let tight = VerifyConfig { flush_pending: 13, ..config };
+        let outcome = engine
+            .serve_verified(plane, requests, dense, &tight)
+            .unwrap_or_else(|e| panic!("{label}/tight({workers}): {e}"));
+        assert_eq!(outcome.report, reference, "{label}: flush threshold leaked into the report");
+    }
+
+    // Sampled mode checks exactly the strided subset, identically.
+    let sampled = VerifyConfig { mode: VerifyMode::Sampled { stride: 5 }, ..config };
+    let seq = verify_sequential(plane, requests, dense, &sampled).unwrap();
+    assert_eq!(seq.checked, requests.len().div_ceil(5), "{label}: sampled stride");
+    let engine = Engine::new(EngineConfig::with_workers(3));
+    let outcome = engine.serve_verified(plane, requests, lazy, &sampled).unwrap();
+    assert_eq!(outcome.report, seq, "{label}: sampled mode diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn full_verification_is_schedule_independent_for_every_scheme_and_workload(
+        seed in 0u64..500,
+    ) {
+        let n = 22 + (seed as usize % 6);
+        let g = Arc::new(strongly_connected_gnp(n, 0.14, seed).unwrap());
+        let dense = DistanceMatrix::build(&g);
+        let lazy = LazyDijkstraOracle::new(&g, 6);
+        let subset = CachedSubsetOracle::new(&g);
+        let names = NamingAssignment::random(n, seed ^ 0x7e57);
+        let suite = SchemeSuite::build(&g, &dense, &names, SuiteParams::default());
+
+        // The three proven ceilings: 6 for §2 (exact-oracle substrate),
+        // (2^k − 1)·β for §3 (tree-cover substrate), 8k² + 4k − 4 for §4.
+        let ex_bound = suite.exstretch.paper_stretch_bound().unwrap();
+        let poly_bound = suite.poly.paper_stretch_bound();
+        let (stretch6, exstretch, poly) = suite.into_parts();
+        let frozen_names = Arc::new(names.to_names());
+
+        let plane6 = FrozenPlane::freeze(Arc::clone(&g), stretch6, Arc::clone(&frozen_names));
+        let planex = FrozenPlane::freeze(Arc::clone(&g), exstretch, Arc::clone(&frozen_names));
+        let planep = FrozenPlane::freeze(Arc::clone(&g), poly, Arc::clone(&frozen_names));
+
+        for workload in Workload::ALL {
+            let requests = workload.generate(n, 110, seed.wrapping_mul(17));
+            let w = workload.name();
+            check_conformance(
+                &plane6, &requests, &dense, &lazy, &subset,
+                StretchBound::at_most(6), &format!("stretch6/{w}"),
+            );
+            check_conformance(
+                &planex, &requests, &dense, &lazy, &subset,
+                StretchBound::at_most(ex_bound), &format!("exstretch/{w}"),
+            );
+            check_conformance(
+                &planep, &requests, &dense, &lazy, &subset,
+                StretchBound::at_most(poly_bound), &format!("polystretch/{w}"),
+            );
+        }
+    }
+}

@@ -224,6 +224,29 @@ where
     }
 }
 
+/// Visits the roundtrip row of every node in `destinations`, in order,
+/// prefetching each [`PREFETCH_WINDOW`]-sized window's rows before consuming
+/// it — the batched-row lookup shared by every destination-grouped metric
+/// consumer: the engine's verification plane flushes its per-worker
+/// destination buckets through it, and the serve-summary stretch sweep
+/// answers its strided sample with it.
+///
+/// On a lazy oracle each window's forward + reverse Dijkstras overlap on the
+/// oracle's worker pool while `f` drains finished rows on this thread; on a
+/// dense oracle the prefetch is a no-op and the loop degenerates to plain
+/// row reads.  The total row cost is two Dijkstras per **distinct**
+/// destination in the batch (modulo cache hits), never per consumer item —
+/// which is what makes destination-grouped verification cheap under skew.
+pub fn roundtrip_rows_batched<O, F>(m: &O, destinations: &[NodeId], mut f: F)
+where
+    O: DistanceOracle + ?Sized,
+    F: FnMut(NodeId, &[Distance]),
+{
+    // One canonical prefetch-window loop: ride sweep_rows_prefetched so a
+    // future change to the window policy applies to both sweeps.
+    sweep_rows_prefetched(m, destinations, |d| f(d, &m.roundtrip_row(d)));
+}
+
 /// Blanket impl so `&O` and `&dyn DistanceOracle` satisfy oracle bounds too.
 impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
     fn node_count(&self) -> usize {
@@ -707,6 +730,30 @@ mod tests {
         let stats = small.stats();
         assert!(stats.peak_resident_rows <= 5, "peak {}", stats.peak_resident_rows);
         assert!(stats.rows_computed <= 4, "clamp ignored: {} rows", stats.rows_computed);
+    }
+
+    #[test]
+    fn batched_roundtrip_rows_agree_with_point_queries_on_every_oracle() {
+        let g = strongly_connected_gnp(30, 0.12, 17).unwrap();
+        let dense = DistanceMatrix::build(&g);
+        let lazy = LazyDijkstraOracle::new(&g, 6);
+        let subset = CachedSubsetOracle::new(&g);
+        // Duplicates and arbitrary order are allowed: callers pass whatever
+        // destination grouping their buckets produced.
+        let dests: Vec<NodeId> = [3u32, 0, 29, 3, 17, 17, 8].iter().map(|&i| NodeId(i)).collect();
+        for oracle in [&dense as &dyn DistanceOracle, &lazy, &subset] {
+            let mut seen = Vec::new();
+            roundtrip_rows_batched(oracle, &dests, |d, row| {
+                assert_eq!(row.len(), 30);
+                for v in g.nodes() {
+                    assert_eq!(row[v.index()], dense.roundtrip(d, v));
+                }
+                seen.push(d);
+            });
+            assert_eq!(seen, dests);
+        }
+        // The lazy oracle answered from whole rows, not per-pair Dijkstras.
+        assert!(lazy.stats().rows_computed <= 2 * dests.len());
     }
 
     #[test]

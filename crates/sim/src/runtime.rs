@@ -3,7 +3,7 @@
 use crate::report::{BriefRoundtrip, BriefTrace, RoundtripReport, Trace};
 use crate::traits::{ForwardAction, HeaderBits, RoundtripRouting, RoutingError};
 use rtr_dictionary::NodeName;
-use rtr_graph::{DiGraph, NodeId, Port};
+use rtr_graph::{DiGraph, Distance, NodeId, Port};
 use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
@@ -231,6 +231,29 @@ impl<'g> Simulator<'g> {
         Ok(BriefRoundtrip { source: src, destination: dst, outbound, inbound })
     }
 
+    /// The cost-only roundtrip entry point: runs both legs through the
+    /// allocation-free brief path (same delivery verification) and returns
+    /// just the total traversed weight.
+    ///
+    /// This is the trip-cost path the verification plane (`rtr-engine`'s
+    /// full-stream verifier and its sequential replay reference) compares
+    /// against exact roundtrip distances — kept here so the verifier measures
+    /// through exactly the loop that serves.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], including [`SimError::WrongDelivery`] when either leg
+    /// ends at an unexpected node.
+    pub fn roundtrip_cost<S: RoundtripRouting>(
+        &self,
+        scheme: &S,
+        src: NodeId,
+        dst: NodeId,
+        dst_name: NodeName,
+    ) -> Result<Distance, SimError> {
+        Ok(self.roundtrip_brief(scheme, src, dst, dst_name)?.total_weight())
+    }
+
     /// Runs a complete roundtrip request: a new packet from `src` addressed to
     /// the TINN name `dst_name`, followed by the acknowledgment back to `src`.
     ///
@@ -374,6 +397,21 @@ mod tests {
                 assert!(brief.agrees_with(&full), "({s},{t}) brief/full disagreement");
             }
         }
+    }
+
+    #[test]
+    fn roundtrip_cost_matches_the_full_report() {
+        let g = directed_ring(8, 1).unwrap();
+        let scheme = RingScheme::new(&g);
+        let sim = Simulator::new(&g);
+        for s in g.nodes() {
+            for t in g.nodes() {
+                let full = sim.roundtrip(&scheme, s, t, NodeName(t.0)).unwrap();
+                let cost = sim.roundtrip_cost(&scheme, s, t, NodeName(t.0)).unwrap();
+                assert_eq!(cost, full.total_weight(), "({s},{t})");
+            }
+        }
+        assert!(sim.roundtrip_cost(&scheme, NodeId(0), NodeId(4), NodeName(3)).is_err());
     }
 
     #[test]

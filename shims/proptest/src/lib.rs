@@ -3,15 +3,23 @@
 //! Implements the subset of the proptest API this workspace uses: the
 //! [`Strategy`] trait (ranges, tuples, `prop_map`), [`ProptestConfig`], and
 //! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
-//! macros. Instead of proptest's adaptive generation and shrinking, cases are
-//! drawn from a fixed-seed SplitMix64 stream, so every run of the suite
-//! exercises the same deterministic set of cases. Failures surface as plain
-//! assertion panics (the stream is deterministic, so re-running reproduces
-//! the failing case); there is no shrinking.
+//! macros. Instead of proptest's adaptive generation, cases are drawn from a
+//! fixed-seed SplitMix64 stream, so every run of the suite exercises the
+//! same deterministic set of cases.
+//!
+//! **Shrinking**: when a case fails, the runner ([`find_minimal_failure`])
+//! greedily shrinks it — integer strategies try halving the offset toward
+//! the range minimum, then a decrement; tuples shrink one component at a
+//! time — re-running the body on each candidate until no candidate fails
+//! any more, and the test panics with the *smallest* failing case found
+//! (plus the original assertion message).  `prop_map` values do not shrink
+//! (the mapping is not invertible).  Shrinking is deterministic, so the
+//! reported minimal case is stable across runs.
 
 #![forbid(unsafe_code)]
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Deterministic generator used to drive strategies.
 #[derive(Debug, Clone)]
@@ -48,6 +56,16 @@ pub trait Strategy {
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Shrink candidates for `value`, each strictly "smaller", tried in
+    /// order by the failure minimiser.  Integer ranges yield the
+    /// halved-offset value (toward the range minimum) then a decrement;
+    /// tuples shrink one component at a time; the default (and `prop_map`,
+    /// whose mapping is not invertible) yields nothing.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
     /// Transforms every produced value with `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -66,23 +84,75 @@ macro_rules! impl_range_strategy {
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.bounded(span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    let half = self.start + (*value - self.start) / 2;
+                    out.push(half);
+                    let dec = *value - 1;
+                    if dec != half {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
 
 impl_range_strategy!(u32, u64, usize);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng),)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        self.0.shrink(&value.0).into_iter().map(|a| (a,)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
     type Value = (A::Value, B::Value);
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (self.0.sample(rng), self.1.sample(rng))
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> =
+            self.0.shrink(&value.0).into_iter().map(|a| (a, value.1.clone())).collect();
+        out.extend(self.1.shrink(&value.1).into_iter().map(|b| (value.0.clone(), b)));
+        out
+    }
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+{
     type Value = (A::Value, B::Value, C::Value);
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone(), value.2.clone()))
+            .collect();
+        out.extend(
+            self.1.shrink(&value.1).into_iter().map(|b| (value.0.clone(), b, value.2.clone())),
+        );
+        out.extend(
+            self.2.shrink(&value.2).into_iter().map(|c| (value.0.clone(), value.1.clone(), c)),
+        );
+        out
     }
 }
 
@@ -105,25 +175,102 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 pub struct ProptestConfig {
     /// Number of cases each property runs.
     pub cases: u32,
+    /// Upper bound on shrink-candidate re-runs of the property body after a
+    /// failure.  The default (128) minimises typical integer counterexamples
+    /// with room to spare while keeping the failure path bounded for
+    /// expensive bodies — an opaque *seed* parameter gains nothing from a
+    /// long decrement walk, and each attempt re-runs the whole body.  Raise
+    /// it for cheap bodies with large shrink distances.
+    pub max_shrink_attempts: u32,
 }
 
 impl ProptestConfig {
     /// A configuration running `cases` cases per property.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig { cases, ..ProptestConfig::default() }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 32 }
+        ProptestConfig { cases: 32, max_shrink_attempts: 128 }
     }
+}
+
+/// Renders a caught panic payload (the failing assertion's message).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// The property runner behind the [`proptest!`] macro: samples `cases`
+/// values from the deterministic stream, runs `body` on each, and — on the
+/// first failure — greedily shrinks the failing value through
+/// [`Strategy::shrink`] candidates (adopting any candidate that still
+/// fails) until no candidate fails or the configured budget
+/// ([`ProptestConfig::max_shrink_attempts`] body re-runs) is spent.
+///
+/// Returns `None` when every case passes, or `Some((minimal_value,
+/// assertion_message))` for the smallest failing case found.  Exposed so the
+/// shim's own self-tests (and curious callers) can assert on the minimiser
+/// without tripping a test panic.
+///
+/// Each failing shrink candidate panics through the process panic hook
+/// before being caught, so a shrinking run emits one trace per adopted
+/// candidate.  That noise is deliberate: libtest captures per-test output
+/// anyway, and swapping the global hook here would race with (and silence)
+/// other tests failing concurrently in the same process.
+pub fn find_minimal_failure<S>(
+    config: &ProptestConfig,
+    seed: u64,
+    strategy: &S,
+    body: impl Fn(S::Value),
+) -> Option<(S::Value, String)>
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+{
+    let fails = |value: &S::Value| {
+        catch_unwind(AssertUnwindSafe(|| body(value.clone()))).err().map(|p| payload_message(&*p))
+    };
+    let mut rng = TestRng::seed_from_u64(seed);
+    for _case in 0..config.cases {
+        let value = strategy.sample(&mut rng);
+        let Some(mut message) = fails(&value) else {
+            continue;
+        };
+        let budget = config.max_shrink_attempts as usize;
+        let mut minimal = value;
+        let mut attempts = 0usize;
+        'shrinking: while attempts < budget {
+            for candidate in strategy.shrink(&minimal) {
+                attempts += 1;
+                if let Some(msg) = fails(&candidate) {
+                    minimal = candidate;
+                    message = msg;
+                    continue 'shrinking;
+                }
+                if attempts >= budget {
+                    break;
+                }
+            }
+            break;
+        }
+        return Some((minimal, message));
+    }
+    None
 }
 
 /// Everything a property test needs in scope.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestRng,
+        find_minimal_failure, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig,
+        Strategy, TestRng,
     };
 }
 
@@ -153,7 +300,9 @@ macro_rules! prop_assume {
 
 /// Declares property tests: each `#[test] fn name(arg in strategy, ...)` item
 /// becomes a normal test that samples its arguments `cases` times from a
-/// deterministic stream and runs the body for each case.
+/// deterministic stream and runs the body for each case.  A failing case is
+/// shrunk (see [`find_minimal_failure`]) and the test panics with the
+/// smallest failing arguments found.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -164,11 +313,17 @@ macro_rules! proptest {
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::TestRng::seed_from_u64(0xfeed_5eed ^ stringify!($name).len() as u64);
-                for _case in 0..config.cases {
-                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
-                    let one_case = move || $body;
-                    one_case();
+                let seed = 0xfeed_5eed ^ stringify!($name).len() as u64;
+                let strategy = ($($strat,)+);
+                let outcome = $crate::find_minimal_failure(&config, seed, &strategy, |case| {
+                    let ($($arg,)+) = case;
+                    $body
+                });
+                if let Some((minimal, message)) = outcome {
+                    panic!(
+                        "proptest shim: property failed; minimal failing case {:?}: {}",
+                        minimal, message
+                    );
                 }
             }
         )*
@@ -210,5 +365,82 @@ mod tests {
             prop_assert!(a < 100);
             prop_assert_eq!(b, b);
         }
+    }
+
+    #[test]
+    fn range_shrink_halves_then_decrements_toward_the_minimum() {
+        let strat = 10u32..100;
+        assert_eq!(strat.shrink(&90), vec![50, 89]);
+        assert_eq!(strat.shrink(&11), vec![10]); // halve and decrement coincide
+        assert!(strat.shrink(&10).is_empty(), "the range minimum is terminal");
+    }
+
+    #[test]
+    fn tuple_shrink_moves_one_component_at_a_time() {
+        let strat = (0u32..10, 0u64..10);
+        let candidates = strat.shrink(&(4, 6));
+        assert_eq!(candidates, vec![(2, 6), (3, 6), (4, 3), (4, 5)]);
+        assert!(strat.shrink(&(0, 0)).is_empty());
+    }
+
+    /// The shim self-test of the minimiser: a property failing exactly on
+    /// `x >= 17` must shrink to 17, whatever the initial failing sample was.
+    #[test]
+    fn shrinking_reports_the_smallest_failing_case() {
+        let config = ProptestConfig::with_cases(64);
+        let found = find_minimal_failure(&config, 42, &(0u32..1000,), |(x,)| {
+            assert!(x < 17, "x too big: {x}");
+        });
+        let (minimal, message) = found.expect("the property fails on most samples");
+        assert_eq!(minimal, (17,));
+        assert_eq!(message, "x too big: 17");
+    }
+
+    #[test]
+    fn shrinking_minimises_tuples_componentwise() {
+        let config = ProptestConfig::with_cases(64);
+        let found = find_minimal_failure(&config, 7, &(0u32..500, 0u64..500), |(a, b)| {
+            assert!(a < 5 || b < 9, "joint failure");
+        });
+        assert_eq!(found.expect("the property fails eventually").0, (5, 9));
+    }
+
+    #[test]
+    fn shrink_budget_bounds_body_reruns() {
+        use std::cell::Cell;
+        let runs = Cell::new(0u32);
+        let config = ProptestConfig { cases: 1, max_shrink_attempts: 10 };
+        // Everything fails, so shrinking halves then decrements toward 0;
+        // the budget must cut the walk after 10 candidate re-runs (plus the
+        // initial sample), reporting the best value reached so far.
+        let found = find_minimal_failure(&config, 1, &(0u64..1_000_000,), |(_x,)| {
+            runs.set(runs.get() + 1);
+            panic!("always fails");
+        });
+        assert!(found.is_some());
+        assert!(runs.get() <= 11, "budget exceeded: {} body runs", runs.get());
+    }
+
+    #[test]
+    fn passing_properties_report_no_failure() {
+        let config = ProptestConfig::with_cases(32);
+        let found = find_minimal_failure(&config, 3, &(0u32..100,), |(x,)| {
+            assert!(x < 100);
+        });
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn assume_skips_do_not_count_as_failures_during_shrinking() {
+        // The failing region is x >= 20 with the point 5 assumed away: a
+        // skipped candidate must read as "pass" (never adopted, never a
+        // crash), leaving 20 as the true minimum.
+        let config = ProptestConfig::with_cases(64);
+        let found = find_minimal_failure(&config, 11, &(0u32..1000,), |(x,)| {
+            prop_assume!(x != 5);
+            assert!(x < 20);
+        });
+        let (minimal, _) = found.expect("values >= 20 fail");
+        assert_eq!(minimal, (20,));
     }
 }
