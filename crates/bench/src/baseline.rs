@@ -30,12 +30,46 @@ pub struct ServeBaseline {
     /// `full`).  Baselines recorded with verification also gate the
     /// verify-mode scheme fields; `off` baselines ignore them.
     pub verify_mode: String,
+    /// Destination shard count of the run (`RTR_SHARDS`; `0` means the
+    /// unsharded engine served the streams).
+    pub shards: usize,
+    /// Shard policy (`hash` / `range`; `none` when unsharded) — changes
+    /// which worker owns which destination, so it pins the configuration.
+    pub shard_policy: String,
     /// Oracle rows (Dijkstras) computed by the **suite build** alone.
     pub build_rows_computed: usize,
-    /// Peak resident oracle rows over the whole run (build + serving).
+    /// Peak resident oracle rows on the shared substrate oracle over the
+    /// whole run.
     pub peak_resident_rows: usize,
+    /// Rows the **dedicated verification oracle** computed across all
+    /// streams.  With per-shard buckets this stays
+    /// `≤ 2 · distinct destinations` regardless of worker count —
+    /// verification's whole cost model — so growth is a hard failure.
+    pub verify_rows_computed: u64,
+    /// Distinct destinations over every served stream (all schemes ×
+    /// workloads) — deterministic given the seeds, the denominator of the
+    /// verify-row bound.
+    pub distinct_destinations: u64,
+    /// The worker-count sweep: the mix workload re-served fully verified at
+    /// each worker count, recording that verify rows stay flat as workers
+    /// grow while throughput scales.
+    pub worker_sweep: Vec<SweepPoint>,
     /// Per-scheme aggregates, in serving order.
     pub schemes: Vec<SchemeBaseline>,
+}
+
+/// One worker count of the serving sweep (mix workload, full verification,
+/// fresh verify oracle per point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Worker threads serving this point.
+    pub workers: usize,
+    /// Throughput at this worker count (host-dependent; warn-only).
+    pub queries_per_sec: f64,
+    /// Rows the point's verify oracle computed — must not grow with
+    /// `workers` (deterministic given the seeds; gated exactly with the
+    /// usual rows slack).
+    pub verify_rows: u64,
 }
 
 /// One scheme's aggregate numbers across all workloads.
@@ -74,8 +108,22 @@ impl ServeBaseline {
         let _ = writeln!(out, "  \"stretch_samples\": {},", self.stretch_samples);
         let _ = writeln!(out, "  \"cache_rows\": {},", self.cache_rows);
         let _ = writeln!(out, "  \"verify_mode\": \"{}\",", self.verify_mode);
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let _ = writeln!(out, "  \"shard_policy\": \"{}\",", self.shard_policy);
         let _ = writeln!(out, "  \"build_rows_computed\": {},", self.build_rows_computed);
         let _ = writeln!(out, "  \"peak_resident_rows\": {},", self.peak_resident_rows);
+        let _ = writeln!(out, "  \"verify_rows_computed\": {},", self.verify_rows_computed);
+        let _ = writeln!(out, "  \"distinct_destinations\": {},", self.distinct_destinations);
+        out.push_str("  \"worker_sweep\": [\n");
+        for (i, p) in self.worker_sweep.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"workers\": {}, \"queries_per_sec\": {:.1}, \"verify_rows\": {}}}",
+                p.workers, p.queries_per_sec, p.verify_rows
+            );
+            out.push_str(if i + 1 < self.worker_sweep.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"schemes\": [\n");
         for (i, s) in self.schemes.iter().enumerate() {
             let _ = write!(
@@ -145,8 +193,38 @@ impl ServeBaseline {
                 Some(v) => v.as_string()?,
                 None => "off".to_string(),
             },
+            shards: match value.field_opt("shards") {
+                Some(v) => v.as_u64()? as usize,
+                None => 0,
+            },
+            shard_policy: match value.field_opt("shard_policy") {
+                Some(v) => v.as_string()?,
+                None => "none".to_string(),
+            },
             build_rows_computed: value.field("build_rows_computed")?.as_u64()? as usize,
             peak_resident_rows: value.field("peak_resident_rows")?.as_u64()? as usize,
+            verify_rows_computed: match value.field_opt("verify_rows_computed") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            },
+            distinct_destinations: match value.field_opt("distinct_destinations") {
+                Some(v) => v.as_u64()?,
+                None => 0,
+            },
+            worker_sweep: match value.field_opt("worker_sweep") {
+                Some(v) => v
+                    .as_array()?
+                    .iter()
+                    .map(|p| {
+                        Ok(SweepPoint {
+                            workers: p.field("workers")?.as_u64()? as usize,
+                            queries_per_sec: p.field("queries_per_sec")?.as_f64()?,
+                            verify_rows: p.field("verify_rows")?.as_u64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                None => Vec::new(),
+            },
             schemes,
         })
     }
@@ -186,12 +264,14 @@ pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String
             b.stretch_samples,
             b.cache_rows,
             b.verify_mode.clone(),
+            b.shards,
+            b.shard_policy.clone(),
         )
     };
     if config(baseline) != config(current) {
         failures.push(format!(
-            "configuration mismatch: baseline is (n, queries, seed, samples, cache, verify) = \
-             {:?}, current is {:?} (regenerate the baseline, see README)",
+            "configuration mismatch: baseline is (n, queries, seed, samples, cache, verify, \
+             shards, policy) = {:?}, current is {:?} (regenerate the baseline, see README)",
             config(baseline),
             config(current)
         ));
@@ -220,6 +300,62 @@ pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String
             "peak resident oracle rows {} more than doubled the baseline {}",
             current.peak_resident_rows, baseline.peak_resident_rows
         ));
+    }
+    // Destination streams are seeded, so the distinct-destination count is
+    // bit-deterministic: any drift means a workload generator changed under
+    // the baseline.  (Zero means a pre-sharding baseline — nothing to gate.)
+    if baseline.distinct_destinations != 0
+        && current.distinct_destinations != baseline.distinct_destinations
+    {
+        failures.push(format!(
+            "distinct destinations changed {} → {} — the request streams drifted",
+            baseline.distinct_destinations, current.distinct_destinations
+        ));
+    }
+    // Verify rows pay two Dijkstras per distinct destination under per-shard
+    // buckets; growth past the rows slack means workers started re-fetching
+    // each other's destination rows.
+    if baseline.verify_rows_computed != 0 {
+        let verify_rows_limit = baseline.verify_rows_computed as f64 * (1.0 + ROWS_SLACK);
+        if current.verify_rows_computed as f64 > verify_rows_limit {
+            failures.push(format!(
+                "verification computed {} oracle rows, baseline {} (+{:.0}% > {:.0}% slack) — \
+                 per-shard bucket sharing regressed",
+                current.verify_rows_computed,
+                baseline.verify_rows_computed,
+                100.0
+                    * (current.verify_rows_computed as f64 / baseline.verify_rows_computed as f64
+                        - 1.0),
+                100.0 * ROWS_SLACK
+            ));
+        }
+    }
+    // The worker sweep is gated point-by-point: verify rows are
+    // deterministic (hard), throughput is host-dependent (warn).  A missing
+    // point would leave a worker count ungated.
+    for want in &baseline.worker_sweep {
+        let Some(got) = current.worker_sweep.iter().find(|p| p.workers == want.workers) else {
+            failures.push(format!(
+                "worker-sweep point at {} workers missing from the current run",
+                want.workers
+            ));
+            continue;
+        };
+        let sweep_rows_limit = want.verify_rows as f64 * (1.0 + ROWS_SLACK);
+        if got.verify_rows as f64 > sweep_rows_limit {
+            failures.push(format!(
+                "sweep at {} workers: verify rows regressed {} → {} — rows are growing with \
+                 the worker count again",
+                want.workers, want.verify_rows, got.verify_rows
+            ));
+        }
+        if got.queries_per_sec < want.queries_per_sec * THROUGHPUT_WARN_FRACTION {
+            warnings.push(format!(
+                "sweep at {} workers: throughput dropped {:.0} → {:.0} queries/s \
+                 (host-dependent, not gating)",
+                want.workers, want.queries_per_sec, got.queries_per_sec
+            ));
+        }
     }
     for want in &baseline.schemes {
         let Some(got) = current.schemes.iter().find(|s| s.scheme == want.scheme) else {
@@ -482,8 +618,16 @@ mod tests {
             stretch_samples: 2000,
             cache_rows: 16,
             verify_mode: "full".into(),
+            shards: 4,
+            shard_policy: "hash".into(),
             build_rows_computed: 2442,
             peak_resident_rows: 16,
+            verify_rows_computed: 1176,
+            distinct_destinations: 588,
+            worker_sweep: vec![
+                SweepPoint { workers: 1, queries_per_sec: 400_000.0, verify_rows: 1100 },
+                SweepPoint { workers: 8, queries_per_sec: 1_900_000.0, verify_rows: 1100 },
+            ],
             schemes: vec![
                 SchemeBaseline {
                     scheme: "stretch6".into(),
@@ -516,6 +660,10 @@ mod tests {
         assert_eq!(parsed.n, b.n);
         assert_eq!(parsed.build_rows_computed, b.build_rows_computed);
         assert_eq!(parsed.schemes.len(), 2);
+        assert_eq!(parsed.shards, b.shards);
+        assert_eq!(parsed.shard_policy, b.shard_policy);
+        assert_eq!(parsed.verify_rows_computed, b.verify_rows_computed);
+        assert_eq!(parsed.worker_sweep, b.worker_sweep);
         let (failures, warnings) = compare(&b, &parsed);
         assert!(failures.is_empty(), "{failures:?}");
         assert!(warnings.is_empty(), "{warnings:?}");
@@ -567,6 +715,16 @@ mod tests {
         let (failures, _) = compare(&base, &cur);
         assert!(failures.iter().any(|f| f.contains("worst verified stretch")), "{failures:?}");
 
+        let mut cur = sample();
+        cur.verify_rows_computed = base.verify_rows_computed * 2;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("per-shard bucket")), "{failures:?}");
+
+        let mut cur = sample();
+        cur.distinct_destinations += 1;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("streams drifted")), "{failures:?}");
+
         // With verification off on both sides the verify fields are inert.
         let mut base = sample();
         let mut cur = sample();
@@ -583,19 +741,58 @@ mod tests {
     }
 
     #[test]
+    fn worker_sweep_regressions_gate_rows_hard_and_throughput_soft() {
+        let base = sample();
+
+        let mut cur = sample();
+        cur.worker_sweep[1].verify_rows = base.worker_sweep[1].verify_rows * 3;
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("growing with")), "{failures:?}");
+
+        let mut cur = sample();
+        cur.worker_sweep.pop();
+        let (failures, _) = compare(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("sweep point")), "{failures:?}");
+
+        let mut cur = sample();
+        cur.worker_sweep[0].queries_per_sec = 10.0;
+        let (failures, warnings) = compare(&base, &cur);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.iter().any(|w| w.contains("sweep at 1 workers")), "{warnings:?}");
+    }
+
+    #[test]
     fn pre_verification_baselines_parse_with_off_defaults() {
         let mut b = sample();
         b.verify_mode = "off".into();
+        b.shards = 0;
+        b.shard_policy = "none".into();
+        b.verify_rows_computed = 0;
+        b.distinct_destinations = 0;
+        b.worker_sweep.clear();
         for s in &mut b.schemes {
             s.verified_queries = 0;
             s.verify_violations = 0;
             s.worst_verified_stretch = 0.0;
         }
-        // Strip the verify fields from the JSON, mimicking an old artifact.
+        // Strip the verify and shard fields from the JSON, mimicking an old
+        // artifact (the sweep array spans three fixed lines).
         let json: String = b
             .to_json()
             .lines()
-            .filter(|l| !l.contains("verify_mode"))
+            .filter(|l| {
+                ![
+                    "verify_mode",
+                    "\"shards\"",
+                    "shard_policy",
+                    "verify_rows_computed",
+                    "distinct_destinations",
+                    "worker_sweep",
+                    "  ],",
+                ]
+                .iter()
+                .any(|needle| l.contains(needle))
+            })
             .map(|l| {
                 let l = match l.find(", \"verified_queries\"") {
                     Some(at) => {
@@ -621,6 +818,8 @@ mod tests {
             |b| b.stretch_samples = 500,
             |b| b.cache_rows = 400,
             |b| b.verify_mode = "off".into(),
+            |b| b.shards = 8,
+            |b| b.shard_policy = "range".into(),
         ] {
             let base = sample();
             let mut cur = sample();

@@ -8,10 +8,14 @@
 //!
 //! Exits non-zero when a gated quantity regressed beyond tolerance — scheme
 //! table bytes, worst-node table bits, worst sampled stretch, verified-query
-//! coverage, bound violations, worst verified stretch (all deterministic
-//! given the run's seeds), or the suite-build oracle-row count (the
-//! shared-sweep budget).  Throughput differences only warn: queries/sec is a
-//! property of the host, not of the code alone.
+//! coverage, bound violations, worst verified stretch, distinct
+//! destinations, verify-oracle rows, per-worker-sweep verify rows (all
+//! deterministic given the run's seeds; the row gates are how CI catches the
+//! per-shard verification buckets regressing to per-worker cost), or the
+//! suite-build oracle-row count (the shared-sweep budget).  A changed shard
+//! count or policy is a configuration mismatch, also fatal.  Throughput
+//! differences only warn: queries/sec is a property of the host, not of the
+//! code alone.
 //!
 //! To update the baseline **intentionally** (a change that is supposed to
 //! shrink tables or rows, or a new scheme), regenerate it with the CI smoke
@@ -50,12 +54,18 @@ fn main() {
         }
         if failures.is_empty() {
             println!(
-                "baseline ok: n = {}, verify {}, build rows {} (baseline {}), {} schemes gated",
+                "baseline ok: n = {}, verify {}, {} shards ({}), build rows {} (baseline {}), \
+                 verify rows {} (baseline {}), {} schemes and {} sweep points gated",
                 current.n,
                 current.verify_mode,
+                current.shards,
+                current.shard_policy,
                 current.build_rows_computed,
                 baseline.build_rows_computed,
-                baseline.schemes.len()
+                current.verify_rows_computed,
+                baseline.verify_rows_computed,
+                baseline.schemes.len(),
+                baseline.worker_sweep.len()
             );
             continue;
         }

@@ -1,9 +1,10 @@
 //! E13 — serving throughput: build the sparse scheme suite at large `n`
-//! through the lazy oracle and serve every workload from the engine's worker
-//! pool, reporting queries/sec, hop latency and tail stretch per scheme.
+//! through the lazy oracle and serve every workload from the engine's
+//! **sharded** worker pool, reporting queries/sec, hop latency and exact
+//! tail stretch per scheme — all from a single verified serving pass.
 //!
 //! This is the tentpole experiment of the `rtr-engine` layer: the schemes
-//! answer millions of roundtrip queries across threads, with per-worker
+//! answer millions of roundtrip queries across threads, with per-shard
 //! accounting and zero per-query allocation in the engine itself.  The suite
 //! is the **sparse** configuration ([`rtr_core::SparseSchemeSuite`]): the §2
 //! scheme rides the Õ(√n) landmark + ball substrate, the §3 scheme the
@@ -17,26 +18,34 @@
 //! measured against) and the lazy oracle's peak resident rows — the two
 //! numbers that certify the o(n²) memory claim.
 //!
-//! Stretch is exact over a strided sample, answered from destination
-//! roundtrip rows (cheap under Zipf/hotspot skew; bounded by the sample size
-//! under uniform load).
+//! **Single-pass serving.**  Every stream is served exactly once, through the
+//! verification plane.  With `RTR_VERIFY=off` (the default) the engine still
+//! runs a strided sample — `queries / RTR_SAMPLES` — purely to produce the
+//! exact stretch columns (the role the retired `StretchSample` machinery
+//! used to play), but the artifact records the run as unverified.  With
+//! `sampled`/`full` the same pass also enforces the proven stretch ceilings
+//! (`exstretch`, `polystretch` hard-fail on any violating query) and records
+//! the verify columns.  The serve-only wall is *derived* from the verified
+//! run via the recorded flush wall (`elapsed − flush_wall/workers`), so
+//! `RTR_VERIFY_MAX_SLOWDOWN` (e.g. `2.0`) still fails the run when in-flight
+//! verification costs more than that multiple of bare serving — without a
+//! second, unverified pass to compare against.
+//!
+//! **Sharded plane.**  `RTR_SHARDS` (default 4; `0` selects the unsharded
+//! engine) partitions destinations under `RTR_SHARD_POLICY` (`hash` |
+//! `range`); cross-shard requests travel bounded handoff channels and
+//! verification buckets live per shard, so the verify oracle computes at
+//! most `2 · distinct(destinations)` rows no matter how many workers serve —
+//! the run hard-fails under full verification if that bound (plus a
+//! `2 · shards` flush slack) is exceeded.  `RTR_WORKER_SWEEP` (default
+//! `1,2,4,8,16`; `none` disables) re-serves the mix workload fully verified
+//! at each worker count on a fresh verify oracle, recording and gating that
+//! verify rows stay flat as workers grow.
 //!
 //! The run's headline numbers are also written as a machine-readable
 //! [`ServeBaseline`] artifact (`BENCH_serve.json`), which CI diffs against
 //! the checked-in seed baseline `ci/BENCH_serve.json` — see the
 //! `check_serve_baseline` binary and the README's baseline-workflow section.
-//!
-//! **Verification modes** (`RTR_VERIFY=off|sampled|full`, default `off`):
-//! after the unverified pass, each scheme is served again through
-//! [`rtr_engine::Engine::serve_verified`] — every (or every stride-th)
-//! query's measured cost checked against the exact roundtrip metric via
-//! destination-batched row lookups on a **dedicated** verification oracle
-//! (`RTR_VERIFY_CACHE` rows, default `2n` so each distinct destination's
-//! rows are computed once across workers).  Schemes with a proven ceiling
-//! (`exstretch`, `polystretch`) hard-fail the run on any violating query;
-//! `RTR_VERIFY_MAX_SLOWDOWN` (e.g. `2.0`) additionally fails the run if the
-//! verified serving wall exceeds that multiple of the unverified wall — the
-//! CI guard that full-stream verification stays affordable.
 //!
 //! Environment: `RTR_N` (default 10 000 — CI smoke and local large-n runs
 //! share this binary by overriding it), `RTR_QUERIES` per workload (default
@@ -45,15 +54,17 @@
 //! (default 2 000), `RTR_SEED` (default 42), `RTR_BENCH_JSON` artifact path
 //! (default `BENCH_serve.json`), `RTR_MAX_BUILD_ROW_FACTOR` — when set, the
 //! run **fails** if the suite build computed more than `factor · n` oracle
-//! rows (the CI guard for the shared-sweep row budget) — plus the
-//! `RTR_VERIFY*` knobs above.
+//! rows (the CI guard for the shared-sweep row budget) — plus `RTR_VERIFY`,
+//! `RTR_VERIFY_CACHE` (default `2n`), `RTR_VERIFY_MAX_SLOWDOWN`,
+//! `RTR_SHARDS`, `RTR_SHARD_POLICY` and `RTR_WORKER_SWEEP` above.
 
 use rtr_bench::banner;
-use rtr_bench::baseline::{SchemeBaseline, ServeBaseline};
+use rtr_bench::baseline::{SchemeBaseline, ServeBaseline, SweepPoint};
 use rtr_core::naming::NamingAssignment;
 use rtr_core::{SparseSchemeSuite, SparseSuiteParams};
 use rtr_engine::{
-    Engine, EngineConfig, FrozenPlane, StretchBound, VerifyConfig, VerifyMode, Workload,
+    Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane, StretchBound, VerifiedReport,
+    VerifyConfig, VerifyCost, VerifyMode, Workload,
 };
 use rtr_graph::generators::ring_with_chords;
 use rtr_graph::NodeId;
@@ -93,118 +104,119 @@ fn report_tables<S: RoundtripRouting>(plane: &FrozenPlane<S>) -> (u64, u64) {
     ((total_bits / 8) as u64, max_node_bits as u64)
 }
 
-/// Serves every workload unverified, returning the scheme's baseline row
-/// plus the accumulated serving wall — the engine's own serving clock plus
-/// the sampled-stretch post-processing (the two costs full verification
-/// subsumes), deliberately excluding table-stats sweeps and printing so the
-/// verify-slowdown gate compares like with like.
+/// One stream's verified serving outcome, identical in shape whether it ran
+/// on the sharded or the unsharded engine.
+struct StreamOutcome {
+    summary: rtr_engine::ServeSummary,
+    report: VerifiedReport,
+    cost: VerifyCost,
+    /// Cross-shard handoffs summed over shards (0 on the unsharded engine).
+    handoffs: u64,
+}
+
+/// Serves one request stream through whichever engine the run selected.
+fn serve_stream<S>(
+    engine: &Engine,
+    plane: &FrozenPlane<S>,
+    sharded: Option<&ShardedPlane<S>>,
+    requests: &[rtr_engine::Request],
+    oracle: &LazyDijkstraOracle<'_>,
+    config: &VerifyConfig,
+    label: &str,
+) -> StreamOutcome
+where
+    S: RoundtripRouting + Send + Sync,
+{
+    match sharded {
+        Some(sharded) => {
+            let out = engine
+                .serve_verified_sharded(sharded, requests, oracle, config)
+                .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+            let handoffs = out.shards.iter().map(|s| s.handoffs).sum();
+            StreamOutcome { summary: out.summary, report: out.report, cost: out.cost, handoffs }
+        }
+        None => {
+            let out = engine
+                .serve_verified(plane, requests, oracle, config)
+                .unwrap_or_else(|e| panic!("{label} failed verification: {e}"));
+            StreamOutcome { summary: out.summary, report: out.report, cost: out.cost, handoffs: 0 }
+        }
+    }
+}
+
+/// Serves every workload once through the verification plane, returning the
+/// scheme's baseline row plus `(serving wall, flush wall)` — the engine's
+/// clock for the verified pass and the portion spent inside bucket flushes,
+/// from which the verify-slowdown gate derives the serve-only wall.
+///
+/// `record_verify` is false when the user asked for `RTR_VERIFY=off`: the
+/// pass still samples (for the stretch columns) but the artifact's verify
+/// fields stay zero, preserving `off` baseline semantics.
+#[allow(clippy::too_many_arguments)] // a bench driver, not a library API
 fn serve_all<S>(
     plane: &FrozenPlane<S>,
+    shard_map: Option<ShardMap>,
     engine: &Engine,
-    m: &LazyDijkstraOracle<'_>,
+    verify_oracle: &LazyDijkstraOracle<'_>,
+    config: &VerifyConfig,
+    record_verify: bool,
     queries: usize,
     seed: u64,
-) -> (SchemeBaseline, Duration)
+    destination_seen: &mut [bool],
+) -> (SchemeBaseline, Duration, Duration)
 where
     S: RoundtripRouting + Send + Sync,
 {
     println!(
-        "\n{:<14} {:>10} {:>9} {:>14} {:>22} {:>7}",
+        "\n{:<14} {:>10} {:>9} {:>14} {:>22} {:>7} {:>7} {:>9}",
         plane.scheme_name(),
         "queries/s",
         "avg-hops",
         "hops p50/95/99",
         "stretch p50/p95/p99",
-        "max-str"
+        "max-str",
+        "viols",
+        "handoffs"
     );
-    let mut worst_stretch: f64 = 0.0;
-    let mut min_qps = f64::INFINITY;
-    let mut serving_wall = Duration::ZERO;
-    for workload in Workload::ALL {
-        let requests = workload.generate(plane.node_count(), queries, seed);
-        let summary = engine
-            .serve(plane, &requests)
-            .unwrap_or_else(|e| panic!("{} under {}: {e}", plane.scheme_name(), workload.name()));
-        assert_eq!(summary.queries, queries);
-        let (h50, h95, h99) = summary.hop_latency();
-        let stretch_started = Instant::now();
-        let stretch = summary.stretch_summary(m).expect("strided sample is never empty");
-        serving_wall += summary.elapsed + stretch_started.elapsed();
-        worst_stretch = worst_stretch.max(stretch.max);
-        min_qps = min_qps.min(summary.queries_per_sec());
-        println!(
-            "  {:<12} {:>10.0} {:>9.2} {:>14} {:>22} {:>7.3}",
-            workload.name(),
-            summary.queries_per_sec(),
-            summary.avg_hops(),
-            format!("{h50}/{h95}/{h99}"),
-            format!("{:.3}/{:.3}/{:.3}", stretch.p50, stretch.p95, stretch.p99),
-            stretch.max,
-        );
-    }
-    let (table_bytes, worst_node_bits) = report_tables(plane);
-    let stats = m.stats();
-    println!(
-        "  oracle after serving: peak resident rows {} ({:.2}% of n)",
-        stats.peak_resident_rows,
-        100.0 * stats.peak_resident_rows as f64 / plane.node_count() as f64
-    );
-    let baseline = SchemeBaseline {
+    let sharded = shard_map.map(|map| ShardedPlane::new(plane.clone(), map));
+    let mut base = SchemeBaseline {
         scheme: plane.scheme_name().to_string(),
-        table_bytes,
-        worst_node_bits,
-        worst_sampled_stretch: worst_stretch,
-        min_queries_per_sec: min_qps,
+        table_bytes: 0,
+        worst_node_bits: 0,
+        worst_sampled_stretch: 0.0,
+        min_queries_per_sec: f64::INFINITY,
         verified_queries: 0,
         verify_violations: 0,
         worst_verified_stretch: 0.0,
     };
-    (baseline, serving_wall)
-}
-
-/// Serves every workload again through the verification plane, updating
-/// `base` with the scheme's verify-mode numbers and returning the
-/// accumulated verified serving wall (the engine's serving clock, which
-/// includes the in-flight bucket flushes; exact stretch needs no
-/// post-processing).  Hard-panics (non-zero exit) if a query exceeds a
-/// configured proven bound — that is the point of oracle-backed serving.
-fn verify_all<S>(
-    plane: &FrozenPlane<S>,
-    engine: &Engine,
-    verify_oracle: &LazyDijkstraOracle<'_>,
-    config: &VerifyConfig,
-    queries: usize,
-    seed: u64,
-    base: &mut SchemeBaseline,
-) -> Duration
-where
-    S: RoundtripRouting + Send + Sync,
-{
-    println!(
-        "\n{:<14} {:>10} {:>9} {:>7} {:>22} {:>7} {:>10}",
-        format!("{} ✓", plane.scheme_name()),
-        "queries/s",
-        "checked",
-        "viols",
-        "verified p50/p95/p99",
-        "max-str",
-        "row-fetch"
-    );
     let mut serving_wall = Duration::ZERO;
+    let mut flush_wall = Duration::ZERO;
     for workload in Workload::ALL {
         let requests = workload.generate(plane.node_count(), queries, seed);
-        let outcome =
-            engine.serve_verified(plane, &requests, verify_oracle, config).unwrap_or_else(|e| {
-                panic!("{} under {} failed verification: {e}", plane.scheme_name(), workload.name())
-            });
-        serving_wall += outcome.summary.elapsed;
-        let report = &outcome.report;
+        for r in &requests {
+            destination_seen[r.dst.index()] = true;
+        }
+        let label = format!("{} under {}", plane.scheme_name(), workload.name());
+        let out =
+            serve_stream(engine, plane, sharded.as_ref(), &requests, verify_oracle, config, &label);
+        assert_eq!(out.summary.queries, queries);
+        serving_wall += out.summary.elapsed;
+        flush_wall += out.cost.flush_wall;
+        let (h50, h95, h99) = out.summary.hop_latency();
+        let report = &out.report;
+        base.worst_sampled_stretch = base.worst_sampled_stretch.max(report.max_stretch());
+        base.min_queries_per_sec = base.min_queries_per_sec.min(out.summary.queries_per_sec());
+        if record_verify {
+            base.verified_queries += report.checked as u64;
+            base.verify_violations += report.violations.len() as u64;
+            base.worst_verified_stretch = base.worst_verified_stretch.max(report.max_stretch());
+        }
         println!(
-            "  {:<12} {:>10.0} {:>9} {:>7} {:>22} {:>7.3} {:>10}",
+            "  {:<12} {:>10.0} {:>9.2} {:>14} {:>22} {:>7.3} {:>7} {:>9}",
             workload.name(),
-            outcome.summary.queries_per_sec(),
-            report.checked,
-            report.violations.len(),
+            out.summary.queries_per_sec(),
+            out.summary.avg_hops(),
+            format!("{h50}/{h95}/{h99}"),
             format!(
                 "{:.3}/{:.3}/{:.3}",
                 report.histogram.percentile(0.50),
@@ -212,13 +224,14 @@ where
                 report.histogram.percentile(0.99)
             ),
             report.max_stretch(),
-            outcome.cost.row_fetches,
+            report.violations.len(),
+            out.handoffs,
         );
-        base.verified_queries += report.checked as u64;
-        base.verify_violations += report.violations.len() as u64;
-        base.worst_verified_stretch = base.worst_verified_stretch.max(report.max_stretch());
     }
-    serving_wall
+    let (table_bytes, worst_node_bits) = report_tables(plane);
+    base.table_bytes = table_bytes;
+    base.worst_node_bits = worst_node_bits;
+    (base, serving_wall, flush_wall)
 }
 
 fn main() {
@@ -238,9 +251,27 @@ fn main() {
         Ok(other) => panic!("RTR_VERIFY must be off|sampled|full, got {other}"),
     };
     let verify_cache = env_usize("RTR_VERIFY_CACHE", (2 * n).max(64));
+    let shards = env_usize("RTR_SHARDS", 4);
+    let shard_map = match (shards, std::env::var("RTR_SHARD_POLICY").as_deref()) {
+        (0, _) => None,
+        (s, Err(_) | Ok("hash")) => Some(ShardMap::hashed(n, s, seed)),
+        (s, Ok("range")) => Some(ShardMap::range(n, s)),
+        (_, Ok(other)) => panic!("RTR_SHARD_POLICY must be hash|range, got {other}"),
+    };
+    let shard_policy = shard_map.as_ref().map_or("none", |m| m.policy().name()).to_string();
+    let sweep: Vec<usize> = match std::env::var("RTR_WORKER_SWEEP") {
+        Err(_) => vec![1, 2, 4, 8, 16],
+        Ok(s) if s.is_empty() || s == "none" => Vec::new(),
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("RTR_WORKER_SWEEP: comma-separated worker counts"))
+            .collect(),
+    };
 
     banner(&format!(
-        "E13: serving throughput, n = {n}, {queries} queries/workload, {workers} workers"
+        "E13: serving throughput, n = {n}, {queries} queries/workload, {workers} workers, \
+         {} ({shard_policy})",
+        if shards == 0 { "unsharded".to_string() } else { format!("{shards} shards") },
     ));
     let t0 = Instant::now();
     let g = Arc::new(ring_with_chords(n, 3 * n, seed).expect("generator failed"));
@@ -292,84 +323,153 @@ fn main() {
     let planex = FrozenPlane::freeze(Arc::clone(&g), exstretch, Arc::clone(&frozen_names));
     let planep = FrozenPlane::freeze(Arc::clone(&g), poly, Arc::clone(&frozen_names));
 
-    let mut config = EngineConfig::with_workers(workers);
-    config.stretch_sample_stride = (queries / samples).max(1);
-    let engine = Engine::new(config);
+    let engine = Engine::new(EngineConfig::with_workers(workers));
 
-    banner("serving");
-    let mut unverified_wall = Duration::ZERO;
+    // The single serving pass: `off` still samples (for the stretch
+    // columns) but records the run as unverified; `sampled`/`full` also
+    // enforce the proven ceilings and fill the artifact's verify fields.
+    let record_verify = verify_mode != VerifyMode::Off;
+    let engine_mode = match verify_mode {
+        VerifyMode::Off => VerifyMode::Sampled { stride: (queries / samples).max(1) },
+        mode => mode,
+    };
+    let config = |bound: Option<StretchBound>| VerifyConfig {
+        mode: engine_mode,
+        bound: if record_verify { bound } else { None },
+        ..VerifyConfig::default()
+    };
+    let verify_oracle = LazyDijkstraOracle::new(&g, verify_cache);
+    let mut destination_seen = vec![false; n];
+
+    banner(&format!("serving ({} verification in-pass)", engine_mode.name()));
+    let mut serving_wall = Duration::ZERO;
+    let mut flush_wall = Duration::ZERO;
     let mut schemes = Vec::with_capacity(3);
-    for (baseline, wall) in [
-        serve_all(&plane6, &engine, &oracle, queries, seed ^ 0x6001),
-        serve_all(&planex, &engine, &oracle, queries, seed ^ 0x6002),
-        serve_all(&planep, &engine, &oracle, queries, seed ^ 0x6003),
-    ] {
-        schemes.push(baseline);
-        unverified_wall += wall;
+    // The planes carry distinct scheme types, so the three runs are spelled
+    // out rather than looped.
+    macro_rules! run_scheme {
+        ($plane:expr, $bound:expr, $scheme_seed:expr) => {{
+            let (base, wall, flush) = serve_all(
+                $plane,
+                shard_map,
+                &engine,
+                &verify_oracle,
+                &config($bound),
+                record_verify,
+                queries,
+                $scheme_seed,
+                &mut destination_seen,
+            );
+            schemes.push(base);
+            serving_wall += wall;
+            flush_wall += flush;
+        }};
     }
+    run_scheme!(&plane6, None, seed ^ 0x6001);
+    run_scheme!(&planex, Some(StretchBound::at_most(ex_bound)), seed ^ 0x6002);
+    run_scheme!(&planep, Some(StretchBound::at_most(poly_bound)), seed ^ 0x6003);
 
-    if verify_mode != VerifyMode::Off {
-        banner(&format!("verification ({} mode)", verify_mode.name()));
-        let verify_oracle = LazyDijkstraOracle::new(&g, verify_cache);
-        let config = |bound: Option<StretchBound>| VerifyConfig {
-            mode: verify_mode,
-            bound,
-            ..VerifyConfig::default()
-        };
-        let mut verified_wall = Duration::ZERO;
-        verified_wall += verify_all(
-            &plane6,
-            &engine,
-            &verify_oracle,
-            &config(None),
-            queries,
-            seed ^ 0x6001,
-            &mut schemes[0],
-        );
-        verified_wall += verify_all(
-            &planex,
-            &engine,
-            &verify_oracle,
-            &config(Some(StretchBound::at_most(ex_bound))),
-            queries,
-            seed ^ 0x6002,
-            &mut schemes[1],
-        );
-        verified_wall += verify_all(
-            &planep,
-            &engine,
-            &verify_oracle,
-            &config(Some(StretchBound::at_most(poly_bound))),
-            queries,
-            seed ^ 0x6003,
-            &mut schemes[2],
-        );
-        let vstats = verify_oracle.stats();
+    let distinct_destinations = destination_seen.iter().filter(|&&s| s).count();
+    let vstats = verify_oracle.stats();
+    println!(
+        "\nverification oracle: rows computed {}, cache hits {}, peak resident {} \
+         ({} distinct destinations over all streams)",
+        vstats.rows_computed, vstats.cache_hits, vstats.peak_resident_rows, distinct_destinations
+    );
+    if verify_mode == VerifyMode::Full {
+        // The per-shard-bucket economics: full verification costs two
+        // Dijkstras per *distinct destination*, never per worker, with up to
+        // one duplicate window per shard at flush boundaries.
+        let row_budget = 2 * distinct_destinations + 2 * shards.max(1);
+        if vstats.rows_computed > row_budget {
+            eprintln!(
+                "FAIL: verification computed {} oracle rows, budget is \
+                 2·distinct + 2·shards = {row_budget}",
+                vstats.rows_computed
+            );
+            std::process::exit(1);
+        }
+        println!("verify row budget ok: {} <= {row_budget}", vstats.rows_computed);
+    }
+    if record_verify {
+        // Derive the serve-only wall from the verified pass: flush_wall sums
+        // over accumulators, so dividing by the worker count bounds the
+        // wall-clock share verification can have added.
+        let serve_only = (serving_wall.as_secs_f64()
+            - flush_wall.as_secs_f64() / workers.max(1) as f64)
+            .max(1e-9);
+        let ratio = serving_wall.as_secs_f64() / serve_only;
         println!(
-            "\nverification oracle: rows computed {}, cache hits {}, peak resident {} \
-             ({:.1}% of n)",
-            vstats.rows_computed,
-            vstats.cache_hits,
-            vstats.peak_resident_rows,
-            100.0 * vstats.peak_resident_rows as f64 / n as f64
-        );
-        println!(
-            "verified serving wall {:.1?} vs unverified {:.1?} ({:.2}×)",
-            verified_wall,
-            unverified_wall,
-            verified_wall.as_secs_f64() / unverified_wall.as_secs_f64().max(1e-9)
+            "verified serving wall {serving_wall:.1?}, flush wall {flush_wall:.1?} over \
+             {workers} workers ({ratio:.2}× derived slowdown)"
         );
         if let Ok(factor) = std::env::var("RTR_VERIFY_MAX_SLOWDOWN") {
             let factor: f64 = factor.parse().expect("RTR_VERIFY_MAX_SLOWDOWN must be a number");
-            let ratio = verified_wall.as_secs_f64() / unverified_wall.as_secs_f64().max(1e-9);
             if ratio > factor {
                 eprintln!(
-                    "FAIL: verified serving took {ratio:.2}× the unverified wall, budget {factor}×"
+                    "FAIL: in-flight verification inflated the serving wall {ratio:.2}×, \
+                     budget {factor}×"
                 );
                 std::process::exit(1);
             }
             println!("verify slowdown budget ok: {ratio:.2}× <= {factor}×");
         }
+    }
+
+    // Worker sweep: the mix workload on the §2 plane, fully verified on a
+    // fresh oracle per point — the artifact's record that throughput scales
+    // with workers while verify rows stay flat (the per-shard-bucket claim).
+    let mut worker_sweep = Vec::with_capacity(sweep.len());
+    if !sweep.is_empty() {
+        banner("worker sweep (mix workload, full verification)");
+        let requests = Workload::Mix.generate(n, queries, seed ^ 0x6001);
+        let mut mix_seen = vec![false; n];
+        for r in &requests {
+            mix_seen[r.dst.index()] = true;
+        }
+        let mix_distinct = mix_seen.iter().filter(|&&s| s).count();
+        let sweep_config =
+            VerifyConfig { mode: VerifyMode::Full, bound: None, ..VerifyConfig::default() };
+        println!(
+            "{:>9} {:>12} {:>12} {:>12} {:>9}",
+            "workers", "queries/s", "verify-rows", "row-fetches", "handoffs"
+        );
+        for &w in &sweep {
+            let sweep_engine = Engine::new(EngineConfig::with_workers(w));
+            let sweep_oracle = LazyDijkstraOracle::new(&g, verify_cache);
+            let out = serve_stream(
+                &sweep_engine,
+                &plane6,
+                shard_map.map(|m| ShardedPlane::new(plane6.clone(), m)).as_ref(),
+                &requests,
+                &sweep_oracle,
+                &sweep_config,
+                &format!("sweep at {w} workers"),
+            );
+            let rows = sweep_oracle.stats().rows_computed;
+            println!(
+                "{:>9} {:>12.0} {:>12} {:>12} {:>9}",
+                w,
+                out.summary.queries_per_sec(),
+                rows,
+                out.cost.row_fetches,
+                out.handoffs
+            );
+            let row_budget = 2 * mix_distinct + 2 * shards.max(1);
+            if rows > row_budget {
+                eprintln!(
+                    "FAIL: verify rows grew with workers — {w} workers computed {rows} rows, \
+                     budget 2·distinct + 2·shards = {row_budget}"
+                );
+                std::process::exit(1);
+            }
+            worker_sweep.push(SweepPoint {
+                workers: w,
+                queries_per_sec: out.summary.queries_per_sec(),
+                verify_rows: rows as u64,
+            });
+        }
+        println!("verify rows flat across the sweep (≤ 2·{mix_distinct} + 2·{})", shards.max(1));
     }
 
     let stats = oracle.stats();
@@ -390,8 +490,13 @@ fn main() {
         stretch_samples: samples,
         cache_rows,
         verify_mode: verify_mode.name().to_string(),
+        shards,
+        shard_policy,
         build_rows_computed: build_stats.rows_computed,
         peak_resident_rows: stats.peak_resident_rows,
+        verify_rows_computed: vstats.rows_computed as u64,
+        distinct_destinations: distinct_destinations as u64,
+        worker_sweep,
         schemes,
     };
     let json_path =

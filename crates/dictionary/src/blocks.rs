@@ -73,10 +73,16 @@ impl BlockDistribution {
             }
         }
 
-        // Repair phase: enforce the Lemma 4 coverage property exactly.
+        // Repair phase: enforce the Lemma 4 coverage property exactly — over
+        // the **unfiltered** prefix set.  A rounded-up space (q^k > n) has
+        // blocks with no existing member, but the schemes' dictionary tables
+        // still index storage item (2) by block id, so every neighborhood
+        // must hold every block: filtering to inhabited prefixes here is what
+        // used to leave unlucky small-n/low-density instances without a
+        // holder and panic `StretchSix::build_with_order`.
         let mut repairs = 0usize;
         let prefixes_by_level: Vec<Vec<Vec<u32>>> =
-            (0..k).map(|i| space.prefixes_of_len(i)).collect();
+            (0..k).map(|i| space.all_prefixes_of_len(i)).collect();
         // Pre-compute, per block, its digit string (used in the covered-prefix
         // scan below).
         let block_digits: Vec<Vec<u32>> =
@@ -200,7 +206,10 @@ impl BlockDistribution {
         for vi in 0..n {
             let v = NodeId::from_index(vi);
             for i in 0..self.k {
-                for tau in self.space.prefixes_of_len(i) {
+                // The unfiltered prefix set: coverage must also hold for
+                // blocks with no existing member, because the schemes look
+                // up a holder for every block id of the rounded-up space.
+                for tau in self.space.all_prefixes_of_len(i) {
                     if self.holder_for_prefix(order, v, i, &tau).is_none() {
                         return false;
                     }
@@ -340,6 +349,76 @@ mod tests {
         for v in 0..space.name_count() as u32 {
             let b = space.block_of(NodeName(v));
             assert!(space.block_members(b).contains(&NodeName(v)));
+        }
+    }
+
+    #[test]
+    fn empty_blocks_of_a_rounded_up_space_still_get_holders() {
+        // n = 30, k = 2 → q = 6 and block 5 starts at name 30: the block
+        // exists in the address space but has no member.  With density 0 the
+        // random phase assigns nothing, so only the repair pass can give it a
+        // holder — exactly the configuration that used to panic
+        // `StretchSix::build_with_order` ("Lemma 1 guarantees a holder in
+        // every neighborhood") on unlucky small instances.
+        let g = strongly_connected_gnp(30, 0.18, 2).unwrap();
+        let m = DistanceMatrix::build(&g);
+        let order = RoundtripOrder::build(&m);
+        let space = AddressSpace::new(30, 2);
+        assert!(
+            space.block_members(BlockId(space.block_count() as u32 - 1)).is_empty(),
+            "test premise: the last block must be empty"
+        );
+        let dist =
+            BlockDistribution::build(space, &order, DistributionParams { density: 0.0, seed: 3 });
+        for vi in 0..30 {
+            let v = NodeId::from_index(vi);
+            for b in 0..dist.space().block_count() as u32 {
+                assert!(
+                    dist.holder_of_block(&order, v, BlockId(b)).is_some(),
+                    "block {b} has no holder near {v}"
+                );
+            }
+        }
+        assert!(dist.verify_coverage(&order));
+    }
+
+    mod holder_property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            // Small n × many seeds × low density: every block of the
+            // (possibly rounded-up) space has a holder in every
+            // neighborhood, for k = 2 and k = 3.  This is the property
+            // whose violation panicked the sparse suite at e.g. n = 300,
+            // seed 7.
+            #[test]
+            fn every_block_has_a_holder_for_small_n_and_any_seed(
+                n in 8usize..72,
+                seed in 0u64..10_000,
+                k in 2u32..4,
+            ) {
+                let g = strongly_connected_gnp(n, 0.2, seed).unwrap();
+                let m = DistanceMatrix::build(&g);
+                let order = RoundtripOrder::build(&m);
+                let space = AddressSpace::new(n, k);
+                let dist = BlockDistribution::build(
+                    space,
+                    &order,
+                    DistributionParams { density: 1.0, seed },
+                );
+                for vi in 0..n {
+                    let v = NodeId::from_index(vi);
+                    for b in 0..dist.space().block_count() as u32 {
+                        prop_assert!(
+                            dist.holder_of_block(&order, v, BlockId(b)).is_some(),
+                            "n={n} k={k} seed={seed}: block {b} has no holder near {v}"
+                        );
+                    }
+                }
+            }
         }
     }
 

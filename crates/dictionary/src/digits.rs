@@ -232,12 +232,7 @@ impl AddressSpace {
         let mut out = Vec::new();
         let count = (self.q as u64).pow(i);
         for code in 0..count {
-            let mut digits = vec![0u32; i as usize];
-            let mut rest = code;
-            for slot in digits.iter_mut().rev() {
-                *slot = (rest % self.q as u64) as u32;
-                rest /= self.q as u64;
-            }
+            let digits = self.prefix_digits(code, i);
             // Smallest name with this prefix: pad with zeros.
             let mut full = digits.clone();
             full.resize(self.k as usize, 0);
@@ -246,6 +241,32 @@ impl AddressSpace {
             }
         }
         out
+    }
+
+    /// Every prefix of length `i` of the rounded-up space (`Σ^i`, in
+    /// lexicographic order), **including** prefixes whose region contains no
+    /// existing name.  For `i < k` each of these prefixes still addresses at
+    /// least one block id in `0..q^{k−1}`, and the schemes' dictionary tables
+    /// index storage by block id — so coverage passes that must guarantee a
+    /// holder for *every block* (Lemma 1's "a holder in every neighborhood")
+    /// have to walk this unfiltered set, not [`prefixes_of_len`].
+    ///
+    /// [`prefixes_of_len`]: Self::prefixes_of_len
+    pub fn all_prefixes_of_len(&self, i: u32) -> Vec<Vec<u32>> {
+        assert!(i <= self.k);
+        let count = (self.q as u64).pow(i);
+        (0..count).map(|code| self.prefix_digits(code, i)).collect()
+    }
+
+    /// Decodes `code` into its base-`q` digit string of length `i`.
+    fn prefix_digits(&self, code: u64, i: u32) -> Vec<u32> {
+        let mut digits = vec![0u32; i as usize];
+        let mut rest = code;
+        for slot in digits.iter_mut().rev() {
+            *slot = (rest % self.q as u64) as u32;
+            rest /= self.q as u64;
+        }
+        digits
     }
 }
 

@@ -17,30 +17,40 @@
 //!   request chunks.  Workers serve through the allocation-free
 //!   [`rtr_sim::Simulator::roundtrip_brief`] path and accumulate statistics
 //!   privately; the only shared atomic on the hot path is the chunk counter.
-//! * [`ServeSummary`] — throughput (queries/sec), p50/p95/p99 hop-latency
-//!   from an exact histogram, and an exact stretch distribution over a
-//!   strided sample, answered destination-row-by-destination-row so lazy
-//!   oracles stay cheap.
-//! * [`VerifyMode`] / [`Engine::serve_verified`] — the **verification
-//!   plane**: off / sampled / full-stream checking of every served trip
-//!   against a [`rtr_metric::DistanceOracle`].  Workers batch checked trips
-//!   into bounded per-destination buckets and flush each bucket through one
-//!   shared roundtrip row, so verification pays two Dijkstras per *distinct
-//!   destination* per flush window instead of two per query; the
+//! * [`ShardMap`] / [`ShardedPlane`] / [`Engine::serve_sharded`] — the
+//!   **sharded plane**: destinations partition into worker-owned shards
+//!   (seeded-hash or contiguous-range [`ShardPolicy`]), each worker serves
+//!   only the shards it owns, and cross-shard requests travel through
+//!   bounded handoff channels with backpressure instead of being served
+//!   wherever they were pulled.  Per-shard query counts are deterministic;
+//!   the merged summary is identical to the unsharded engine's.
+//! * [`VerifyMode`] / [`Engine::serve_verified`] /
+//!   [`Engine::serve_verified_sharded`] — the **verification plane**: off /
+//!   sampled / full-stream checking of every served trip against a
+//!   [`rtr_metric::DistanceOracle`].  Checked trips buffer in bounded
+//!   destination buckets — per worker unsharded, per shard sharded — and
+//!   every bucket flushes through one shared roundtrip row, so verification
+//!   pays two Dijkstras per *distinct destination* per flush window instead
+//!   of two per query; with per-shard buckets no destination row is ever
+//!   fetched by two workers, so total verify rows stay
+//!   `≤ 2 · distinct(destinations)` regardless of worker count.  The
 //!   [`VerifiedReport`] (exact fixed-point stretch histogram, worst trip,
-//!   bound violations) is bit-identical for any worker count and hard-fails
-//!   — [`VerifyServeError::BoundExceeded`] — when a trip exceeds the
-//!   scheme's proven stretch ceiling.
+//!   bound violations) is bit-identical for any shard × worker count and
+//!   hard-fails — [`VerifyServeError::BoundExceeded`] — when a trip exceeds
+//!   the scheme's proven stretch ceiling.
 //!
 //! The engine is **observationally identical** to the sequential simulator:
 //! [`Engine::collect`] returns the very [`rtr_sim::RoundtripReport`]s a
 //! sequential loop produces, in request order, for any worker count — and
-//! [`Engine::serve_verified`] reproduces the sequential oracle-checked
-//! replay [`verify_sequential`] bit for bit — properties the test-suite
-//! enforces per scheme, workload, and oracle flavor.
+//! both verified paths reproduce the sequential oracle-checked replay
+//! [`verify_sequential`] bit for bit — properties the test-suite enforces
+//! per scheme, workload, shard count, and oracle flavor.
 //!
 //! ```
-//! use rtr_engine::{Engine, EngineConfig, FrozenPlane, StretchBound, VerifyConfig, Workload};
+//! use rtr_engine::{
+//!     Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane, StretchBound, VerifyConfig,
+//!     Workload,
+//! };
 //! use rtr_core::naming::NamingAssignment;
 //! use rtr_core::{Stretch6Params, StretchSix};
 //! use rtr_graph::generators::strongly_connected_gnp;
@@ -56,19 +66,22 @@
 //!     StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
 //! let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
 //!
-//! let requests = Workload::Zipf { exponent: 1.2 }.generate(g.node_count(), 4_000, 9);
-//! let engine = Engine::new(EngineConfig::with_workers(4));
-//! let summary = engine.serve(&plane, &requests)?;
-//! assert_eq!(summary.queries, 4_000);
-//! let stretch = summary.stretch_summary(&m).expect("samples were collected");
-//! assert!(stretch.max <= 6.0 + 1e-9); // the §2 scheme's hard bound
-//!
 //! // Full-stream verification: every query checked against the exact
 //! // metric, hard-failing if any trip exceeded the proven stretch 6.
+//! let requests = Workload::Zipf { exponent: 1.2 }.generate(g.node_count(), 4_000, 9);
+//! let engine = Engine::new(EngineConfig::with_workers(4));
 //! let config = VerifyConfig::full().with_bound(StretchBound::at_most(6));
 //! let verified = engine.serve_verified(&plane, &requests, &m, &config)?;
 //! assert_eq!(verified.report.checked, 4_000);
 //! assert!(verified.report.is_clean());
+//! assert!(verified.report.max_stretch() <= 6.0 + 1e-9); // the §2 scheme's hard bound
+//!
+//! // The same stream over a 3-shard plane: bit-identical report, per-shard
+//! // buckets, cross-shard requests over bounded handoff channels.
+//! let sharded = ShardedPlane::new(plane, ShardMap::hashed(g.node_count(), 3, 42));
+//! let outcome = engine.serve_verified_sharded(&sharded, &requests, &m, &config)?;
+//! assert_eq!(outcome.report, verified.report);
+//! assert_eq!(outcome.shards.iter().map(|s| s.queries).sum::<u64>(), 4_000);
 //! # Ok(())
 //! # }
 //! ```
@@ -79,13 +92,17 @@
 
 mod engine;
 mod plane;
+mod shard;
 mod stats;
 mod verify;
 mod workload;
 
 pub use engine::{Engine, EngineConfig};
 pub use plane::FrozenPlane;
-pub use stats::{ServeSummary, StretchSample, StretchSummary};
+pub use shard::{
+    ShardMap, ShardPolicy, ShardServeStats, ShardedPlane, ShardedServe, VerifiedShardedServe,
+};
+pub use stats::ServeSummary;
 pub use verify::{
     verify_sequential, StretchBound, StretchHistogram, VerifiedReport, VerifiedServe, VerifiedTrip,
     VerifyConfig, VerifyCost, VerifyMode, VerifyServeError, STRETCH_HISTOGRAM_SCALE,

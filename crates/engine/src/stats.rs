@@ -1,29 +1,18 @@
-//! Latency and stretch accounting for engine runs.
+//! Latency accounting for engine runs.
 //!
 //! Workers accumulate into private [`WorkerStats`] (fixed-size hop histogram,
-//! scalar counters, a strided stretch sample) and the engine merges them
-//! after the pool joins — the hot path touches no shared atomics.
+//! scalar counters) and the engine merges them after the pool joins — the hot
+//! path touches no shared atomics.  Stretch accounting lives entirely in the
+//! verification plane ([`crate::VerifyMode::Sampled`] for strided sampling,
+//! [`crate::VerifyMode::Full`] for the whole stream); the summary itself
+//! carries only throughput and hop-latency facts.
 
-use rtr_graph::{Distance, NodeId, INFINITY};
-use rtr_metric::DistanceOracle;
 use rtr_sim::BriefRoundtrip;
 use std::time::Duration;
 
 /// Number of exact buckets in the hop histogram; roundtrips longer than this
 /// land in the overflow bucket (index `HOP_BUCKETS`).
 const HOP_BUCKETS: usize = 1024;
-
-/// One strided stretch sample: enough of a request's outcome to compute its
-/// exact stretch later against a distance oracle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StretchSample {
-    /// Source of the sampled request.
-    pub source: NodeId,
-    /// Destination of the sampled request.
-    pub destination: NodeId,
-    /// Measured roundtrip weight.
-    pub weight: Distance,
-}
 
 /// Per-worker accumulator; merged into a [`ServeSummary`] after the join.
 #[derive(Debug)]
@@ -35,7 +24,6 @@ pub(crate) struct WorkerStats {
     /// `hop_histogram[h]`: roundtrips that took exactly `h` hops
     /// (`hop_histogram[HOP_BUCKETS]` collects the overflow).
     pub hop_histogram: Vec<u64>,
-    pub samples: Vec<StretchSample>,
 }
 
 impl WorkerStats {
@@ -46,27 +34,17 @@ impl WorkerStats {
             total_weight: 0,
             max_header_bits: 0,
             hop_histogram: vec![0; HOP_BUCKETS + 1],
-            samples: Vec::new(),
         }
     }
 
-    /// Records one served roundtrip; `sampled` marks the strided stretch
-    /// sample (decided by global request index, so the sample set does not
-    /// depend on worker count or scheduling).
-    pub(crate) fn record(&mut self, brief: &BriefRoundtrip, sampled: bool) {
+    /// Records one served roundtrip.
+    pub(crate) fn record(&mut self, brief: &BriefRoundtrip) {
         let hops = brief.total_hops();
         self.queries += 1;
         self.total_hops += hops as u64;
         self.total_weight += u128::from(brief.total_weight());
         self.max_header_bits = self.max_header_bits.max(brief.max_header_bits());
         self.hop_histogram[hops.min(HOP_BUCKETS)] += 1;
-        if sampled {
-            self.samples.push(StretchSample {
-                source: brief.source,
-                destination: brief.destination,
-                weight: brief.total_weight(),
-            });
-        }
     }
 
     pub(crate) fn merge(&mut self, other: WorkerStats) {
@@ -77,7 +55,6 @@ impl WorkerStats {
         for (a, b) in self.hop_histogram.iter_mut().zip(&other.hop_histogram) {
             *a += b;
         }
-        self.samples.extend(other.samples);
     }
 }
 
@@ -88,8 +65,7 @@ pub struct ServeSummary {
     pub queries: usize,
     /// Worker threads used.
     pub workers: usize,
-    /// Wall-clock of the serving phase (excludes workload generation and
-    /// stretch post-processing).
+    /// Wall-clock of the serving phase (excludes workload generation).
     pub elapsed: Duration,
     /// Total hops over all roundtrips.
     pub total_hops: u64,
@@ -98,14 +74,10 @@ pub struct ServeSummary {
     /// Largest header observed across all requests, in bits.
     pub max_header_bits: usize,
     hop_histogram: Vec<u64>,
-    samples: Vec<StretchSample>,
 }
 
 impl ServeSummary {
     pub(crate) fn from_stats(stats: WorkerStats, workers: usize, elapsed: Duration) -> Self {
-        let mut samples = stats.samples;
-        // Workers finish in arbitrary order; sort for reproducible output.
-        samples.sort_by_key(|s| (s.destination, s.source, s.weight));
         ServeSummary {
             queries: stats.queries,
             workers,
@@ -114,7 +86,6 @@ impl ServeSummary {
             total_weight: stats.total_weight,
             max_header_bits: stats.max_header_bits,
             hop_histogram: stats.hop_histogram,
-            samples,
         }
     }
 
@@ -154,78 +125,12 @@ impl ServeSummary {
     pub fn hop_latency(&self) -> (usize, usize, usize) {
         (self.hop_percentile(0.50), self.hop_percentile(0.95), self.hop_percentile(0.99))
     }
-
-    /// The strided stretch samples collected during the run.
-    pub fn samples(&self) -> &[StretchSample] {
-        &self.samples
-    }
-
-    /// Exact stretch distribution of the strided sample, computed against
-    /// `m`.
-    ///
-    /// Samples are grouped by destination and each group is answered from
-    /// the destination's roundtrip row (`r(s, t) = r(t, s)`) through the
-    /// same batched-row lookup the full-stream verification plane flushes
-    /// its buckets with ([`rtr_metric::roundtrip_rows_batched`]), so a lazy
-    /// oracle pays two Dijkstras per *distinct sampled destination* — cheap
-    /// under skewed workloads — instead of two per sample.  Returns `None`
-    /// when no samples were collected.
-    pub fn stretch_summary<O: DistanceOracle + ?Sized>(&self, m: &O) -> Option<StretchSummary> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut stretches = Vec::with_capacity(self.samples.len());
-        // `samples` is sorted by destination: dedup yields each distinct
-        // destination once, in the order the grouped sweep will visit it.
-        let mut dests: Vec<NodeId> = self.samples.iter().map(|s| s.destination).collect();
-        dests.dedup();
-        let mut at = 0usize;
-        rtr_metric::roundtrip_rows_batched(m, &dests, |dst, row| {
-            while at < self.samples.len() && self.samples[at].destination == dst {
-                let s = &self.samples[at];
-                let r = row[s.source.index()];
-                assert!(r > 0 && r != INFINITY, "sampled pair unreachable");
-                stretches.push(s.weight as f64 / r as f64);
-                at += 1;
-            }
-        });
-        debug_assert_eq!(at, self.samples.len(), "every sample answered from its row");
-        stretches.sort_by(|a, b| a.partial_cmp(b).expect("stretch is never NaN"));
-        let percentile = |p: f64| -> f64 {
-            let idx = ((stretches.len() as f64 - 1.0) * p).round() as usize;
-            stretches[idx]
-        };
-        Some(StretchSummary {
-            samples: stretches.len(),
-            avg: stretches.iter().sum::<f64>() / stretches.len() as f64,
-            p50: percentile(0.50),
-            p95: percentile(0.95),
-            p99: percentile(0.99),
-            max: *stretches.last().expect("nonempty"),
-        })
-    }
-}
-
-/// Stretch distribution of a [`ServeSummary`]'s strided sample.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StretchSummary {
-    /// Number of sampled requests.
-    pub samples: usize,
-    /// Mean stretch.
-    pub avg: f64,
-    /// Median stretch.
-    pub p50: f64,
-    /// 95th-percentile stretch.
-    pub p95: f64,
-    /// 99th-percentile stretch.
-    pub p99: f64,
-    /// Worst sampled stretch.
-    pub max: f64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtr_graph::{Distance, NodeId};
     use rtr_sim::BriefTrace;
 
     fn brief(s: u32, t: u32, hops: usize, weight: Distance) -> BriefRoundtrip {
@@ -247,13 +152,12 @@ mod tests {
     fn record_and_merge_accumulate() {
         let mut a = WorkerStats::new();
         let mut b = WorkerStats::new();
-        a.record(&brief(0, 1, 4, 10), true);
-        b.record(&brief(1, 2, 6, 14), false);
+        a.record(&brief(0, 1, 4, 10));
+        b.record(&brief(1, 2, 6, 14));
         a.merge(b);
         assert_eq!(a.queries, 2);
         assert_eq!(a.total_hops, 10);
         assert_eq!(a.total_weight, 24);
-        assert_eq!(a.samples.len(), 1);
         assert_eq!(a.hop_histogram[4], 1);
         assert_eq!(a.hop_histogram[6], 1);
     }
@@ -262,10 +166,10 @@ mod tests {
     fn hop_percentiles_walk_the_histogram() {
         let mut w = WorkerStats::new();
         for _ in 0..90 {
-            w.record(&brief(0, 1, 2, 4), false);
+            w.record(&brief(0, 1, 2, 4));
         }
         for _ in 0..10 {
-            w.record(&brief(0, 1, 40, 80), false);
+            w.record(&brief(0, 1, 40, 80));
         }
         let s = ServeSummary::from_stats(w, 1, Duration::from_secs(1));
         assert_eq!(s.hop_percentile(0.5), 2);
@@ -278,7 +182,7 @@ mod tests {
     #[test]
     fn overflow_bucket_clamps() {
         let mut w = WorkerStats::new();
-        w.record(&brief(0, 1, 5000, 5000), false);
+        w.record(&brief(0, 1, 5000, 5000));
         let s = ServeSummary::from_stats(w, 1, Duration::from_millis(1));
         assert_eq!(s.hop_percentile(1.0), HOP_BUCKETS);
     }
@@ -288,44 +192,6 @@ mod tests {
         let s = ServeSummary::from_stats(WorkerStats::new(), 4, Duration::ZERO);
         assert_eq!(s.queries_per_sec(), 0.0);
         assert_eq!(s.hop_percentile(0.99), 0);
-        assert!(s.stretch_summary(&NoOracle).is_none());
-    }
-
-    /// Oracle stub for the empty-summary test (never queried).
-    #[derive(Debug)]
-    struct NoOracle;
-    impl DistanceOracle for NoOracle {
-        fn node_count(&self) -> usize {
-            0
-        }
-        fn distance(&self, _: NodeId, _: NodeId) -> Distance {
-            unreachable!()
-        }
-        fn row(&self, _: NodeId) -> Vec<Distance> {
-            unreachable!()
-        }
-        fn rev_row(&self, _: NodeId) -> Vec<Distance> {
-            unreachable!()
-        }
-    }
-
-    #[test]
-    fn stretch_summary_groups_by_destination() {
-        use rtr_graph::generators::directed_ring;
-        use rtr_metric::DistanceMatrix;
-        let g = directed_ring(6, 1).unwrap();
-        let m = DistanceMatrix::build(&g);
-        let mut w = WorkerStats::new();
-        for s in 1..4u32 {
-            let r = m.roundtrip(NodeId(s), NodeId(0));
-            w.record(&brief(s, 0, 6, r), true); // stretch exactly 1
-            w.record(&brief(s, 0, 6, 2 * r), true); // stretch exactly 2
-        }
-        let summary = ServeSummary::from_stats(w, 2, Duration::from_millis(5));
-        let st = summary.stretch_summary(&m).unwrap();
-        assert_eq!(st.samples, 6);
-        assert!((st.avg - 1.5).abs() < 1e-12);
-        assert!((st.max - 2.0).abs() < 1e-12);
-        assert!((st.p50 - 1.0).abs() < 1e-12 || (st.p50 - 2.0).abs() < 1e-12);
+        assert_eq!(s.avg_hops(), 0.0);
     }
 }

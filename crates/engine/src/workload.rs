@@ -69,6 +69,20 @@ impl Workload {
         }
     }
 
+    /// The hot destination [`Workload::Hotspot`] picks for `(n, seed)` —
+    /// exactly the node every request of `Hotspot.generate(n, _, seed)`
+    /// targets.  Exposed so sharding tests (and shard-column reporting) can
+    /// pin the shard that owns the hotspot without regenerating the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no valid ordered pair exists).
+    pub fn hotspot_destination(n: usize, seed: u64) -> NodeId {
+        assert!(n >= 2, "workloads need at least two nodes");
+        let mut rng = StdRng::seed_from_u64(seed);
+        NodeId(rng.gen_range(0..n as u32))
+    }
+
     /// Generates exactly `count` requests over `n` nodes from `seed`.
     ///
     /// # Panics
@@ -232,6 +246,15 @@ mod tests {
         let f = dst_frequencies(&reqs);
         assert_eq!(f.len(), 1);
         assert_eq!(*f.values().next().unwrap(), 300);
+    }
+
+    #[test]
+    fn hotspot_destination_matches_the_generated_stream() {
+        for seed in [0u64, 5, 99] {
+            let reqs = Workload::Hotspot.generate(20, 30, seed);
+            let hot = Workload::hotspot_destination(20, seed);
+            assert!(reqs.iter().all(|r| r.dst == hot), "seed {seed}");
+        }
     }
 
     #[test]

@@ -51,7 +51,6 @@ fn check_plane<S: RoundtripRouting + Send + Sync>(
             None => reference_summary = Some(summary),
             Some(first) => {
                 assert_eq!(summary.hop_latency(), first.hop_latency(), "{label}");
-                assert_eq!(summary.samples(), first.samples(), "{label}");
                 assert_eq!(summary.max_header_bits, first.max_header_bits, "{label}");
             }
         }

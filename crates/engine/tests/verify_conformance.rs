@@ -4,14 +4,16 @@
 //! and 8 workers (and across flush thresholds) and equal to
 //! [`verify_sequential`], the sequential oracle-checked replay — checking
 //! 100% of the stream, within each scheme's proven stretch ceiling, in
-//! strict mode.
+//! strict mode.  The sharded engine extends the contract: any shard count ×
+//! policy × worker count reproduces the same report, with per-shard query
+//! counts that depend only on the destinations, never on the schedule.
 
 use proptest::prelude::*;
 use rtr_core::naming::NamingAssignment;
 use rtr_core::{SchemeSuite, SuiteParams};
 use rtr_engine::{
-    verify_sequential, Engine, EngineConfig, FrozenPlane, StretchBound, VerifiedReport,
-    VerifyConfig, VerifyMode, Workload,
+    verify_sequential, Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane, StretchBound,
+    VerifiedReport, VerifyConfig, VerifyMode, Workload,
 };
 use rtr_graph::generators::strongly_connected_gnp;
 use rtr_metric::{CachedSubsetOracle, DistanceMatrix, DistanceOracle, LazyDijkstraOracle};
@@ -56,6 +58,41 @@ fn check_conformance<S: RoundtripRouting + Send + Sync>(
             .serve_verified(plane, requests, dense, &tight)
             .unwrap_or_else(|e| panic!("{label}/tight({workers}): {e}"));
         assert_eq!(outcome.report, reference, "{label}: flush threshold leaked into the report");
+    }
+
+    // The sharded plane must reproduce the same report bit for bit for any
+    // shard count × policy × worker count, with per-shard query counts that
+    // are destination-pure (identical whatever the worker count).
+    for shards in [1usize, 2, 4] {
+        let maps = [
+            ShardMap::hashed(plane.node_count(), shards, 0xA11CE),
+            ShardMap::range(plane.node_count(), shards),
+        ];
+        for map in maps {
+            let sharded = ShardedPlane::new(plane.clone(), map);
+            let mut shard_queries: Option<Vec<u64>> = None;
+            for workers in [1usize, 2, 8] {
+                let engine = Engine::new(EngineConfig::with_workers(workers));
+                let policy = map.policy().name();
+                let outcome = engine
+                    .serve_verified_sharded(&sharded, requests, lazy, &config)
+                    .unwrap_or_else(|e| panic!("{label}/{policy}×{shards}({workers}): {e}"));
+                assert_eq!(
+                    outcome.report, reference,
+                    "{label}: sharded report diverged ({policy} policy, {shards} shards, \
+                     {workers} workers)"
+                );
+                let queries: Vec<u64> = outcome.shards.iter().map(|s| s.queries).collect();
+                assert_eq!(queries.iter().sum::<u64>(), requests.len() as u64, "{label}");
+                match &shard_queries {
+                    None => shard_queries = Some(queries),
+                    Some(first) => assert_eq!(
+                        &queries, first,
+                        "{label}: per-shard queries depend on the worker count"
+                    ),
+                }
+            }
+        }
     }
 
     // Sampled mode checks exactly the strided subset, identically.

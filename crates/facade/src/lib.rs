@@ -75,8 +75,9 @@ pub mod prelude {
     };
     pub use rtr_dictionary::NodeName;
     pub use rtr_engine::{
-        Engine, EngineConfig, FrozenPlane, Request, ServeSummary, StretchBound, StretchSummary,
-        VerifiedReport, VerifiedServe, VerifyConfig, VerifyMode, Workload,
+        Engine, EngineConfig, FrozenPlane, Request, ServeSummary, ShardMap, ShardPolicy,
+        ShardedPlane, StretchBound, VerifiedReport, VerifiedServe, VerifyConfig, VerifyMode,
+        Workload,
     };
     pub use rtr_graph::{generators, DiGraph, DiGraphBuilder, NodeId};
     pub use rtr_metric::{

@@ -247,6 +247,39 @@ where
     sweep_rows_prefetched(m, destinations, |d| f(d, &m.roundtrip_row(d)));
 }
 
+/// Visits the roundtrip rows of several shards' destination lists in **one**
+/// shared prefetch-windowed sweep — the shard-aware sibling of
+/// [`roundtrip_rows_batched`].  `shards[s]` is shard `s`'s destination list;
+/// `f(s, d, row)` is called for every destination of every shard, shards in
+/// slice order, destinations in per-shard order.  Prefetch windows span shard
+/// boundaries, so a worker that owns several small shards still fills
+/// [`PREFETCH_WINDOW`]-sized oracle batches instead of issuing one
+/// under-filled batch per shard.
+///
+/// Row cost is identical to concatenating the lists into a single
+/// [`roundtrip_rows_batched`] call: two Dijkstras per distinct destination
+/// across all shards (modulo cache hits).  When destination lists are
+/// shard-disjoint — as the engine's per-shard verification buckets are —
+/// no row is ever fetched for more than one shard.
+pub fn roundtrip_rows_sharded<O, F>(m: &O, shards: &[&[NodeId]], mut f: F)
+where
+    O: DistanceOracle + ?Sized,
+    F: FnMut(usize, NodeId, &[Distance]),
+{
+    let tagged: Vec<(usize, NodeId)> = shards
+        .iter()
+        .enumerate()
+        .flat_map(|(s, dests)| dests.iter().map(move |&d| (s, d)))
+        .collect();
+    let flat: Vec<NodeId> = tagged.iter().map(|&(_, d)| d).collect();
+    let mut at = 0;
+    sweep_rows_prefetched(m, &flat, |d| {
+        let (shard, _) = tagged[at];
+        at += 1;
+        f(shard, d, &m.roundtrip_row(d));
+    });
+}
+
 /// Blanket impl so `&O` and `&dyn DistanceOracle` satisfy oracle bounds too.
 impl<O: DistanceOracle + ?Sized> DistanceOracle for &O {
     fn node_count(&self) -> usize {
@@ -754,6 +787,35 @@ mod tests {
         }
         // The lazy oracle answered from whole rows, not per-pair Dijkstras.
         assert!(lazy.stats().rows_computed <= 2 * dests.len());
+    }
+
+    #[test]
+    fn sharded_roundtrip_rows_match_per_shard_batches_and_share_windows() {
+        let g = strongly_connected_gnp(30, 0.12, 19).unwrap();
+        let dense = DistanceMatrix::build(&g);
+        // Three disjoint shard lists plus one deliberately empty shard — the
+        // shape the engine's per-shard verification buckets hand over.
+        let a: Vec<NodeId> = [2u32, 7, 11].iter().map(|&i| NodeId(i)).collect();
+        let b: Vec<NodeId> = [0u32, 29].iter().map(|&i| NodeId(i)).collect();
+        let c: Vec<NodeId> = [5u32, 6, 8, 9].iter().map(|&i| NodeId(i)).collect();
+        let shards: Vec<&[NodeId]> = vec![&a, &[], &b, &c];
+        let lazy = LazyDijkstraOracle::new(&g, 30);
+        let mut seen: Vec<(usize, NodeId)> = Vec::new();
+        roundtrip_rows_sharded(&lazy, &shards, |s, d, row| {
+            for v in g.nodes() {
+                assert_eq!(row[v.index()], dense.roundtrip(d, v));
+            }
+            seen.push((s, d));
+        });
+        let expected: Vec<(usize, NodeId)> = shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, dests)| dests.iter().map(move |&d| (s, d)))
+            .collect();
+        assert_eq!(seen, expected, "shards in order, destinations in per-shard order");
+        // One shared sweep: 9 distinct destinations cost exactly 2 rows each
+        // even though the per-shard lists are all smaller than a window.
+        assert_eq!(lazy.stats().rows_computed, 2 * 9);
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Bounded multi-producer multi-consumer channel.
+//!
+//! A small, faithful subset of `crossbeam-channel`: [`bounded`] returns a
+//! cloneable [`Sender`]/[`Receiver`] pair over a fixed-capacity queue.
+//! Producers block (or report [`TrySendError::Full`]) once the queue holds
+//! `cap` messages, which is what gives the engine's shard handoff its
+//! backpressure. The channel disconnects when every handle on one side is
+//! dropped: `recv` then drains the remaining messages and reports
+//! [`RecvError`]; `send` reports [`SendError`] immediately.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — no fancy lock-free ring, but the
+//! semantics match the real crate for the operations provided.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+/// Carries the unsent message back to the caller.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver has been dropped; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the queue is empty and every
+/// sender has been dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is momentarily empty but senders remain.
+    Empty,
+    /// The queue is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+/// The sending half of a channel created by [`bounded`]. Cloneable; the
+/// channel disconnects for receivers once the last clone is dropped.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel created by [`bounded`]. Cloneable; the
+/// channel disconnects for senders once the last clone is dropped.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Creates a bounded channel holding at most `cap` in-flight messages.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero — zero-capacity rendezvous channels are not
+/// supported by this shim.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State { queue: VecDeque::with_capacity(cap), senders: 1, receivers: 1 }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Blocks until there is room, then enqueues `value`.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] with the value if every receiver has been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned by a panicking thread.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.inner.cap {
+                state.queue.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Enqueues `value` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TrySendError::Full`] if the queue is at capacity, or
+    /// [`TrySendError::Disconnected`] if every receiver has been dropped;
+    /// both hand the value back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned by a panicking thread.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.queue.len() >= self.inner.cap {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives and returns it. Messages already in the
+    /// queue are delivered even after every sender has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the queue is empty and every sender has been
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned by a panicking thread.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.inner.not_empty.wait(state).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues a message without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] if the queue is momentarily empty, or
+    /// [`TryRecvError::Disconnected`] once it is empty and every sender has
+    /// been dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned by a panicking thread.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.state.lock().expect("channel poisoned");
+        if let Some(value) = state.queue.pop_front() {
+            self.inner.not_full.notify_one();
+            return Ok(value);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").senders += 1;
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().expect("channel poisoned").receivers += 1;
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = match self.inner.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            drop(state);
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = match self.inner.state.lock() {
+            Ok(state) => state,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_arrive_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn try_send_reports_full_and_returns_the_message() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn dropping_all_senders_disconnects_after_draining() {
+        let (tx, rx) = bounded(4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        // A clone keeps the channel alive.
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx2.send(2).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn dropping_the_receiver_fails_sends() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        assert_eq!(tx.try_send(8), Err(TrySendError::Disconnected(8)));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_when_room_appears() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|s| {
+            let tx = tx.clone();
+            s.spawn(move || tx.send(1).unwrap());
+            // Make room; the blocked sender must complete for scope to join.
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.recv(), Ok(1));
+        });
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (tx, rx) = bounded(8);
+        let total = AtomicUsize::new(0);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        tx.send(p * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let (total, count) = (&total, &count);
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        total.fetch_add(v, Ordering::Relaxed);
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 300);
+        // Sum of p*100+i over p in 0..3, i in 0..100.
+        let expected: usize = (0..3).flat_map(|p| (0..100).map(move |i| p * 100 + i)).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expected);
+    }
+}

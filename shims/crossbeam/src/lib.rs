@@ -1,13 +1,17 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only the scoped-thread entry point is provided, implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63). Semantics mirror
-//! `crossbeam::scope`: all spawned threads are joined before `scope` returns,
-//! and a panicking child surfaces as `Err` instead of unwinding through the
-//! caller.
+//! Two entry points are provided: the scoped-thread API ([`scope`]),
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63), and
+//! a bounded multi-producer multi-consumer channel ([`channel::bounded`])
+//! implemented over `std::sync::{Mutex, Condvar}`. Semantics mirror the real
+//! crate: all spawned threads are joined before `scope` returns, a panicking
+//! child surfaces as `Err` instead of unwinding through the caller, and a
+//! channel disconnects when every handle on one side is dropped.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
+
+pub mod channel;
 
 /// A scope handle passed to the closure given to [`scope`].
 #[derive(Debug)]
