@@ -426,17 +426,28 @@ pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String
     (failures, warnings)
 }
 
-/// A minimal JSON value: just enough structure for the baseline artifact.
+/// A minimal JSON value: just enough structure for the baseline and
+/// telemetry artifacts (used by `check_serve_baseline` and
+/// `check_telemetry`; the workspace vendors no serde).
 #[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
+pub enum JsonValue {
+    /// A number (every JSON number parses as `f64`).
     Number(f64),
+    /// A string without escape sequences.
     String(String),
+    /// An ordered array.
     Array(Vec<JsonValue>),
+    /// An object, fields in document order.
     Object(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
-    fn parse(text: &str) -> Result<JsonValue, String> {
+    /// Parses one complete JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
         let mut p = Parser { bytes: text.as_bytes(), at: 0 };
         let v = p.value()?;
         p.skip_ws();
@@ -446,7 +457,12 @@ impl JsonValue {
         Ok(v)
     }
 
-    fn field(&self, key: &str) -> Result<&JsonValue, String> {
+    /// Looks up `key` on an object, failing on a missing key or a non-object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of what was expected.
+    pub fn field(&self, key: &str) -> Result<&JsonValue, String> {
         if !matches!(self, JsonValue::Object(_)) {
             return Err(format!("expected an object, found {self:?}"));
         }
@@ -455,35 +471,55 @@ impl JsonValue {
 
     /// Optional-field lookup (`None` on a missing key *or* a non-object),
     /// used for the verify-mode fields older baselines predate.
-    fn field_opt(&self, key: &str) -> Option<&JsonValue> {
+    pub fn field_opt(&self, key: &str) -> Option<&JsonValue> {
         match self {
             JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_array(&self) -> Result<&[JsonValue], String> {
+    /// The value as an array.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any other variant.
+    pub fn as_array(&self) -> Result<&[JsonValue], String> {
         match self {
             JsonValue::Array(items) => Ok(items),
             other => Err(format!("expected an array, found {other:?}")),
         }
     }
 
-    fn as_string(&self) -> Result<String, String> {
+    /// The value as an owned string.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any other variant.
+    pub fn as_string(&self) -> Result<String, String> {
         match self {
             JsonValue::String(s) => Ok(s.clone()),
             other => Err(format!("expected a string, found {other:?}")),
         }
     }
 
-    fn as_f64(&self) -> Result<f64, String> {
+    /// The value as a float.
+    ///
+    /// # Errors
+    ///
+    /// Fails on any other variant.
+    pub fn as_f64(&self) -> Result<f64, String> {
         match self {
             JsonValue::Number(x) => Ok(*x),
             other => Err(format!("expected a number, found {other:?}")),
         }
     }
 
-    fn as_u64(&self) -> Result<u64, String> {
+    /// The value as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-numbers, negatives, and fractional values.
+    pub fn as_u64(&self) -> Result<u64, String> {
         let x = self.as_f64()?;
         if x < 0.0 || x.fract() != 0.0 {
             return Err(format!("expected a non-negative integer, found {x}"));

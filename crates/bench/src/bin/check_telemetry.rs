@@ -1,0 +1,101 @@
+//! CI gate: cross-check a `BENCH_telemetry.json` registry export (written by
+//! `serve_throughput` under `RTR_TELEMETRY_JSON`) against the
+//! `BENCH_serve.json` artifact of the **same run**.
+//!
+//! Usage: `check_telemetry <telemetry.json> <serve.json> [<telemetry2>
+//! <serve2> …]` — each pair must come from one `serve_throughput`
+//! invocation; any failing pair fails the gate.
+//!
+//! The contract is exact equality, not tolerance: the telemetry counters are
+//! incremented by the very code paths that feed the baseline numbers
+//! (`oracle.verify.rows_computed` by the verify oracle's row computes,
+//! `serve.distinct_destinations` from the served streams), so **any**
+//! disagreement means the observability plane is lying about the serving
+//! plane.  Exit code 1 on a mismatch, 2 on an unreadable or malformed
+//! artifact.
+
+use rtr_bench::baseline::{JsonValue, ServeBaseline};
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("FAIL: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Extracts counter `name` from a registry export (0 when absent — a counter
+/// never touched is never registered).
+fn counter(telemetry: &JsonValue, name: &str) -> Result<u64, String> {
+    match telemetry.field("counters")?.field_opt(name) {
+        Some(v) => v.as_u64(),
+        None => Ok(0),
+    }
+}
+
+/// Extracts gauge `name`'s current value from a registry export (0 when
+/// absent).
+fn gauge(telemetry: &JsonValue, name: &str) -> Result<u64, String> {
+    match telemetry.field("gauges")?.field_opt(name) {
+        Some(v) => v.field("value")?.as_u64(),
+        None => Ok(0),
+    }
+}
+
+fn check_pair(telemetry_path: &str, serve_path: &str) -> Result<Vec<String>, String> {
+    let telemetry = JsonValue::parse(&read(telemetry_path))?;
+    let serve = ServeBaseline::from_json(&read(serve_path))?;
+    let mut failures = Vec::new();
+    let rows = counter(&telemetry, "oracle.verify.rows_computed")?;
+    if rows != serve.verify_rows_computed {
+        failures.push(format!(
+            "telemetry oracle.verify.rows_computed = {rows} disagrees with the gated \
+             verify_rows_computed = {}",
+            serve.verify_rows_computed
+        ));
+    }
+    let distinct = gauge(&telemetry, "serve.distinct_destinations")?;
+    if distinct != serve.distinct_destinations {
+        failures.push(format!(
+            "telemetry serve.distinct_destinations = {distinct} disagrees with the gated \
+             distinct_destinations = {}",
+            serve.distinct_destinations
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "telemetry ok: {telemetry_path} matches {serve_path} (verify rows {rows}, \
+             distinct destinations {distinct})"
+        );
+    }
+    Ok(failures)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 3 || args.len() % 2 != 1 {
+        eprintln!(
+            "usage: check_telemetry <telemetry.json> <serve.json> \
+             [<telemetry2.json> <serve2.json> …]"
+        );
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for pair in args[1..].chunks_exact(2) {
+        match check_pair(&pair[0], &pair[1]) {
+            Ok(failures) if failures.is_empty() => {}
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("FAIL: {}: {f}", pair[0]);
+                }
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("FAIL: cannot parse {} / {}: {e}", pair[0], pair[1]);
+                std::process::exit(2);
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

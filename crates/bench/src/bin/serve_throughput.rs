@@ -47,6 +47,19 @@
 //! the checked-in seed baseline `ci/BENCH_serve.json` — see the
 //! `check_serve_baseline` binary and the README's baseline-workflow section.
 //!
+//! **Telemetry.**  The run prints the `rtr-telemetry` span-tree report
+//! (build-stage and sweep spans with count/total/mean/max wall) and writes
+//! the full registry — counters, gauges, histograms, spans, flight recorder
+//! — to `RTR_TELEMETRY_JSON` (default `BENCH_telemetry.json`).  Before
+//! exporting it hard-fails unless the exported `oracle.verify.rows_computed`
+//! counter and `serve.distinct_destinations` gauge **exactly** equal the
+//! `verify_rows_computed` / `distinct_destinations` values the baseline
+//! artifact gates (counted at the same sources, so drift means the
+//! observability plane lies).  `RTR_TELEMETRY_MAX_OVERHEAD` (e.g. `1.25`)
+//! additionally re-serves the mix workload unverified with the sink enabled
+//! vs. the runtime no-op sink and fails if the enabled wall exceeds that
+//! factor.
+//!
 //! Environment: `RTR_N` (default 10 000 — CI smoke and local large-n runs
 //! share this binary by overriding it), `RTR_QUERIES` per workload (default
 //! 200 000), `RTR_WORKERS` (default: available parallelism), `RTR_CACHE`
@@ -56,7 +69,8 @@
 //! run **fails** if the suite build computed more than `factor · n` oracle
 //! rows (the CI guard for the shared-sweep row budget) — plus `RTR_VERIFY`,
 //! `RTR_VERIFY_CACHE` (default `2n`), `RTR_VERIFY_MAX_SLOWDOWN`,
-//! `RTR_SHARDS`, `RTR_SHARD_POLICY` and `RTR_WORKER_SWEEP` above.
+//! `RTR_SHARDS`, `RTR_SHARD_POLICY`, `RTR_WORKER_SWEEP`,
+//! `RTR_TELEMETRY_JSON` and `RTR_TELEMETRY_MAX_OVERHEAD` above.
 
 use rtr_bench::banner;
 use rtr_bench::baseline::{SchemeBaseline, ServeBaseline, SweepPoint};
@@ -338,7 +352,11 @@ fn main() {
         bound: if record_verify { bound } else { None },
         ..VerifyConfig::default()
     };
-    let verify_oracle = LazyDijkstraOracle::new(&g, verify_cache);
+    // The gated serve's oracle is the only one carrying the "verify"
+    // telemetry scope, so `oracle.verify.rows_computed` counts exactly the
+    // rows `verify_rows_computed` gates — the export cross-check below (and
+    // the `check_telemetry` binary in CI) would catch any drift.
+    let verify_oracle = LazyDijkstraOracle::new(&g, verify_cache).with_telemetry_scope("verify");
     let mut destination_seen = vec![false; n];
 
     banner(&format!("serving ({} verification in-pass)", engine_mode.name()));
@@ -370,11 +388,17 @@ fn main() {
     run_scheme!(&planep, Some(StretchBound::at_most(poly_bound)), seed ^ 0x6003);
 
     let distinct_destinations = destination_seen.iter().filter(|&&s| s).count();
+    rtr_telemetry::gauge("serve.distinct_destinations").set(distinct_destinations as u64);
     let vstats = verify_oracle.stats();
     println!(
-        "\nverification oracle: rows computed {}, cache hits {}, peak resident {} \
-         ({} distinct destinations over all streams)",
-        vstats.rows_computed, vstats.cache_hits, vstats.peak_resident_rows, distinct_destinations
+        "\nverification oracle: rows computed {}, cache hits {} ({:.1}% hit rate), \
+         evictions {}, peak resident {} ({} distinct destinations over all streams)",
+        vstats.rows_computed,
+        vstats.cache_hits,
+        100.0 * verify_oracle.hit_rate(),
+        vstats.evictions,
+        vstats.peak_resident_rows,
+        distinct_destinations
     );
     if verify_mode == VerifyMode::Full {
         // The per-shard-bucket economics: full verification costs two
@@ -504,4 +528,79 @@ fn main() {
     std::fs::write(&json_path, artifact.to_json())
         .unwrap_or_else(|e| panic!("writing {json_path}: {e}"));
     println!("baseline artifact written to {json_path}");
+
+    // Telemetry overhead gate: re-serve the mix workload unverified with the
+    // sink enabled vs. the runtime no-op sink (minimum of three interleaved
+    // pairs after a warm-up) and fail if the enabled wall exceeds the budget
+    // factor.  Runs before the export so the process-global counters are
+    // final when the artifact is written; the cross-checked names
+    // (`oracle.verify.*`, `serve.distinct_destinations`) are untouched here.
+    if let Ok(factor) = std::env::var("RTR_TELEMETRY_MAX_OVERHEAD") {
+        let factor: f64 = factor.parse().expect("RTR_TELEMETRY_MAX_OVERHEAD must be a number");
+        banner("telemetry overhead gate (mix workload, unverified serve)");
+        let requests = Workload::Mix.generate(n, queries, seed ^ 0x6001);
+        let overhead_sharded = shard_map.map(|m| ShardedPlane::new(plane6.clone(), m));
+        let run = |enabled: bool| -> Duration {
+            rtr_telemetry::set_enabled(enabled);
+            let started = Instant::now();
+            match &overhead_sharded {
+                Some(s) => {
+                    engine.serve_sharded(s, &requests).expect("overhead serve failed");
+                }
+                None => {
+                    engine.serve(&plane6, &requests).expect("overhead serve failed");
+                }
+            }
+            started.elapsed()
+        };
+        run(true);
+        run(false);
+        let (mut best_on, mut best_off) = (Duration::MAX, Duration::MAX);
+        for _ in 0..3 {
+            best_on = best_on.min(run(true));
+            best_off = best_off.min(run(false));
+        }
+        rtr_telemetry::set_enabled(true);
+        let ratio = best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-9);
+        println!("enabled {best_on:.1?} vs no-op sink {best_off:.1?} ({ratio:.3}×)");
+        if ratio > factor {
+            eprintln!("FAIL: telemetry overhead {ratio:.3}× exceeds budget {factor}×");
+            std::process::exit(1);
+        }
+        println!("telemetry overhead budget ok: {ratio:.3}× <= {factor}×");
+    }
+
+    // Span-tree report, export cross-check, and the RTR_TELEMETRY_JSON
+    // artifact.  The cross-check repeats in CI via `check_telemetry` on the
+    // written files; failing here too keeps local runs honest.
+    let registry = rtr_telemetry::registry();
+    banner("telemetry");
+    print!("{}", registry.span_report());
+    let telemetry_rows = registry.counter_value("oracle.verify.rows_computed");
+    if telemetry_rows != artifact.verify_rows_computed {
+        eprintln!(
+            "FAIL: telemetry counter oracle.verify.rows_computed = {telemetry_rows} disagrees \
+             with the baseline-gated verify_rows_computed = {}",
+            artifact.verify_rows_computed
+        );
+        std::process::exit(1);
+    }
+    let (telemetry_distinct, _) = registry.gauge_value("serve.distinct_destinations");
+    if telemetry_distinct != artifact.distinct_destinations {
+        eprintln!(
+            "FAIL: telemetry gauge serve.distinct_destinations = {telemetry_distinct} disagrees \
+             with the baseline-gated distinct_destinations = {}",
+            artifact.distinct_destinations
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "telemetry cross-check ok: verify rows {telemetry_rows}, distinct destinations \
+         {telemetry_distinct}"
+    );
+    let telemetry_path =
+        std::env::var("RTR_TELEMETRY_JSON").unwrap_or_else(|_| "BENCH_telemetry.json".to_string());
+    std::fs::write(&telemetry_path, registry.to_json())
+        .unwrap_or_else(|e| panic!("writing {telemetry_path}: {e}"));
+    println!("telemetry artifact written to {telemetry_path}");
 }

@@ -312,7 +312,11 @@ impl PolynomialStretch {
             n,
             slots: SweepSlots::new(n),
         };
-        broadcast_rows(m, &[&pass2]);
+        {
+            let _span =
+                rtr_telemetry::span!("poly.pass2_sweep", format_args!("trees={}", contexts.len()));
+            broadcast_rows(m, &[&pass2]);
+        }
         let mut max_label_bits = 0usize;
         let tables: Vec<NodeTable> = pass2
             .slots

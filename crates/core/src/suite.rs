@@ -195,6 +195,7 @@ impl SparseSchemeSuite {
         assert!(params.poly.cover_k >= 2, "cover parameter must be >= 2");
         assert!(m.is_strongly_connected(), "sparse suite requires a strongly connected graph");
         let n = g.node_count();
+        let _suite_span = rtr_telemetry::span!("build.sparse_suite", format_args!("n={n}"));
 
         // Register every hierarchy-independent row consumer on ONE sweep:
         // landmark pass 1, the first cover scale group, and both schemes'
@@ -207,30 +208,46 @@ impl SparseSchemeSuite {
         let k_x = params.exstretch.k;
         assert!(k_x >= 2, "ExStretch requires k >= 2");
         let orderx_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, k_x - 1, k_x));
-        broadcast_rows(m, &[&landmark_sweep, &cover_sweep, &order6_sweep, &orderx_sweep]);
+        {
+            let _span = rtr_telemetry::span!("build.shared_sweep", "4 consumers");
+            broadcast_rows(m, &[&landmark_sweep, &cover_sweep, &order6_sweep, &orderx_sweep]);
+        }
 
-        let landmark = landmark_sweep.finish();
+        let landmark = {
+            let _span = rtr_telemetry::span!("build.landmark_finish");
+            landmark_sweep.finish()
+        };
         let order6 = order6_sweep.finish();
         let orderx = orderx_sweep.finish();
-        let mut levels: Vec<LevelCover> = cover_sweep.finish_levels(g, plan.k());
-        for group_scales in scale_groups {
+        let mut levels: Vec<LevelCover> = {
+            let _span = rtr_telemetry::span!("cover.scale_group", 0);
+            cover_sweep.finish_levels(g, plan.k())
+        };
+        for (group_index, group_scales) in scale_groups.enumerate() {
+            let _span = rtr_telemetry::span!("cover.scale_group", group_index + 1);
             let sweep = plan.ball_sweep(group_scales);
             broadcast_rows(m, &[&sweep]);
             levels.extend(sweep.finish_levels(g, plan.k()));
         }
         let cover = DoubleTreeCover::from_levels(plan.k(), levels);
-        let treecover = TreeCoverScheme::from_cover(g, m, &cover);
+        let treecover = {
+            let _span = rtr_telemetry::span!("build.treecover_substrate");
+            TreeCoverScheme::from_cover(g, m, &cover)
+        };
 
         let cover_ref = &cover;
         let (order6_ref, orderx_ref) = (&order6, &orderx);
         let result = crossbeam::scope(|scope| {
             let h6 = scope.spawn(move |_| {
+                let _span = rtr_telemetry::span!("build.stretch6");
                 StretchSix::build_with_order(g, m, names, landmark, order6_ref, params.stretch6)
             });
             let hx = scope.spawn(move |_| {
+                let _span = rtr_telemetry::span!("build.exstretch");
                 ExStretch::build_with_order(g, m, names, treecover, orderx_ref, params.exstretch)
             });
             let hp = scope.spawn(move |_| {
+                let _span = rtr_telemetry::span!("build.polystretch");
                 PolynomialStretch::build_with_cover(g, m, names, cover_ref, params.poly)
             });
             let stretch6 = h6.join().expect("stretch-6 construction panicked");

@@ -203,6 +203,10 @@ impl CoverBallSweep {
     ///
     /// Panics if the sweep has not visited every source yet.
     pub fn finish_levels(self, g: &DiGraph, k: u32) -> Vec<LevelCover> {
+        let _span = rtr_telemetry::span!(
+            "cover.finish_levels",
+            format_args!("levels={}", self.scales.len())
+        );
         let by_node = self.slots.into_vec();
         // Transpose node-major → level-major (moves only).
         let mut by_level: Vec<Vec<NodeSet>> =
@@ -259,7 +263,8 @@ impl DoubleTreeCover {
     pub fn build<O: DistanceOracle + ?Sized>(g: &DiGraph, m: &O, k: u32) -> Self {
         let plan = CoverSweepPlan::new(m, k);
         let mut levels: Vec<LevelCover> = Vec::new();
-        for group_scales in plan.scale_groups() {
+        for (group_index, group_scales) in plan.scale_groups().enumerate() {
+            let _span = rtr_telemetry::span!("cover.scale_group", group_index);
             let sweep = plan.ball_sweep(group_scales);
             broadcast_rows(m, &[&sweep]);
             levels.extend(sweep.finish_levels(g, k));

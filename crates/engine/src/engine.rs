@@ -213,6 +213,7 @@ impl Engine {
             merged.merge(stats);
         }
         shards.sort_by_key(|s| s.shard);
+        rtr_telemetry::counter("engine.handoffs").add(shards.iter().map(|s| s.handoffs).sum());
         Ok(ShardedServe {
             summary: ServeSummary::from_stats(merged, workers, started.elapsed()),
             shards,
@@ -282,6 +283,7 @@ impl Engine {
             accs.push(acc);
         }
         shards.sort_by_key(|s| s.shard);
+        rtr_telemetry::counter("engine.handoffs").add(shards.iter().map(|s| s.handoffs).sum());
         let queries = merged.queries;
         let summary = ServeSummary::from_stats(merged, workers, started.elapsed());
         let (report, cost) = VerifyAccumulator::merge_all(accs, queries);
@@ -462,6 +464,13 @@ impl Engine {
                     scope.spawn(move |_| -> Result<Vec<(usize, u64, A)>, SimError> {
                         let sim = plane.plane().simulator();
                         let map = plane.map();
+                        // Telemetry accumulates in worker-local scalars and
+                        // publishes once after the drain — the hot path pays
+                        // one branch per iteration when the sink is off, and
+                        // one channel-lock `len()` sample per chunk when on.
+                        let telemetry_on = rtr_telemetry::enabled();
+                        let mut stall_ns: u64 = 0;
+                        let mut queue_hw: usize = 0;
                         let mut accs: Vec<(usize, u64, A)> =
                             (w..shards).step_by(workers).map(|s| (s, 0u64, init(s))).collect();
                         // Handles one request this worker owns; `accs[s /
@@ -493,6 +502,9 @@ impl Engine {
                             // Drain our backlog before grabbing more stream,
                             // so handoff queues turn over even when the
                             // stream is long.
+                            if telemetry_on {
+                                queue_hw = queue_hw.max(rx.len());
+                            }
                             while let Ok((i, req)) = rx.try_recv() {
                                 serve_one(i, &req, &mut accs, true)?;
                             }
@@ -509,15 +521,24 @@ impl Engine {
                                     continue;
                                 }
                                 let mut msg = (index, *req);
+                                let mut stall_started: Option<Instant> = None;
                                 loop {
                                     if failed.load(Ordering::Relaxed) {
                                         aborted = true;
                                         break 'ingest;
                                     }
                                     match txs[owner].try_send(msg) {
-                                        Ok(()) => break,
+                                        Ok(()) => {
+                                            if let Some(at) = stall_started {
+                                                stall_ns += at.elapsed().as_nanos() as u64;
+                                            }
+                                            break;
+                                        }
                                         Err(TrySendError::Full(m)) => {
                                             msg = m;
+                                            if telemetry_on && stall_started.is_none() {
+                                                stall_started = Some(Instant::now());
+                                            }
                                             // Backpressure: serve our own
                                             // backlog while the owner's
                                             // queue is full.
@@ -554,6 +575,11 @@ impl Engine {
                                     Err(_) => break,
                                 }
                             }
+                        }
+                        if telemetry_on {
+                            rtr_telemetry::counter("engine.handoff.stall_ns").add(stall_ns);
+                            rtr_telemetry::gauge("engine.shard.queue_depth_hw")
+                                .set_max(queue_hw as u64);
                         }
                         if !aborted && !failed.load(Ordering::Relaxed) {
                             if let Err(e) = finish(&mut accs) {

@@ -78,6 +78,14 @@ pub struct ServeSummary {
 
 impl ServeSummary {
     pub(crate) fn from_stats(stats: WorkerStats, workers: usize, elapsed: Duration) -> Self {
+        // Fold the merged per-worker counters into the telemetry registry —
+        // once per serve run, after the join, so the hot path stays free of
+        // shared writes.  The registry names mirror the summary fields.
+        if rtr_telemetry::enabled() {
+            rtr_telemetry::counter("engine.queries").add(stats.queries as u64);
+            rtr_telemetry::counter("engine.hops").add(stats.total_hops);
+            rtr_telemetry::gauge("engine.max_header_bits").set_max(stats.max_header_bits as u64);
+        }
         ServeSummary {
             queries: stats.queries,
             workers,

@@ -363,8 +363,8 @@ impl VerifyCost {
 /// schedule-dependent cost counters.
 #[derive(Debug, Clone)]
 pub struct VerifiedServe {
-    /// Throughput/latency accounting of the serving phase (its strided
-    /// stretch sample is empty — verification supersedes it).
+    /// Throughput/latency accounting of the serving phase (all stretch
+    /// accounting lives in [`VerifiedServe::report`]).
     pub summary: crate::ServeSummary,
     /// The deterministic verification outcome.
     pub report: VerifiedReport,
@@ -485,13 +485,22 @@ impl VerifyAccumulator {
         if self.pending == 0 {
             return;
         }
+        let checked_before = self.report.checked;
         let started = Instant::now();
         let nodes = self.sorted_destinations();
         roundtrip_rows_batched(oracle, &nodes, |dst, row| self.check_bucket(dst, row));
+        let elapsed = started.elapsed();
         self.cost.flushes += 1;
         self.cost.row_fetches += nodes.len();
-        self.cost.flush_wall += started.elapsed();
+        self.cost.flush_wall += elapsed;
         self.pending = 0;
+        if rtr_telemetry::enabled() {
+            rtr_telemetry::counter("verify.flushes").inc();
+            rtr_telemetry::counter("verify.row_fetches").add(nodes.len() as u64);
+            rtr_telemetry::counter("verify.checked")
+                .add((self.report.checked - checked_before) as u64);
+            rtr_telemetry::histogram("verify.flush_ns").observe(elapsed);
+        }
     }
 
     /// Drains several accumulators' buckets — one per destination shard of
@@ -508,11 +517,17 @@ impl VerifyAccumulator {
         if parts.iter().all(|p| p.pending == 0) {
             return;
         }
+        let telemetry_on = rtr_telemetry::enabled();
+        let checked_before: usize =
+            if telemetry_on { parts.iter().map(|p| p.report.checked).sum() } else { 0 };
         let started = Instant::now();
         let dest_lists: Vec<Vec<NodeId>> = parts.iter().map(|p| p.sorted_destinations()).collect();
         let slices: Vec<&[NodeId]> = dest_lists.iter().map(|v| v.as_slice()).collect();
         roundtrip_rows_sharded(oracle, &slices, |at, dst, row| parts[at].check_bucket(dst, row));
-        let mut wall = Some(started.elapsed());
+        let elapsed = started.elapsed();
+        let mut wall = Some(elapsed);
+        let mut flushes = 0u64;
+        let mut rows = 0u64;
         for (part, dests) in parts.iter_mut().zip(&dest_lists) {
             if dests.is_empty() {
                 continue;
@@ -521,6 +536,15 @@ impl VerifyAccumulator {
             part.cost.row_fetches += dests.len();
             part.cost.flush_wall += wall.take().unwrap_or_default();
             part.pending = 0;
+            flushes += 1;
+            rows += dests.len() as u64;
+        }
+        if telemetry_on {
+            let checked_after: usize = parts.iter().map(|p| p.report.checked).sum();
+            rtr_telemetry::counter("verify.flushes").add(flushes);
+            rtr_telemetry::counter("verify.row_fetches").add(rows);
+            rtr_telemetry::counter("verify.checked").add((checked_after - checked_before) as u64);
+            rtr_telemetry::histogram("verify.flush_ns").observe(elapsed);
         }
     }
 

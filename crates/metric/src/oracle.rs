@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use rtr_graph::algo::dijkstra::{dijkstra, dijkstra_reverse};
 use rtr_graph::types::saturating_dist_add;
 use rtr_graph::{DiGraph, Distance, NodeId, INFINITY};
+use rtr_telemetry::{Counter, Gauge};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -362,6 +363,9 @@ pub struct OracleStats {
     pub peak_resident_rows: usize,
     /// Rows currently resident.
     pub resident_rows: usize,
+    /// Rows evicted by the LRU policy over the oracle's lifetime (always 0
+    /// for unbounded caches).
+    pub evictions: usize,
 }
 
 /// Key of one cached row: direction + source.
@@ -379,11 +383,13 @@ struct RowCache {
     clock: u64,
     /// Maximum resident rows; `usize::MAX` disables eviction.
     capacity: usize,
+    /// Rows evicted over the cache's lifetime.
+    evictions: usize,
 }
 
 impl RowCache {
     fn new(capacity: usize) -> Self {
-        RowCache { rows: HashMap::new(), clock: 0, capacity }
+        RowCache { rows: HashMap::new(), clock: 0, capacity, evictions: 0 }
     }
 
     fn get(&mut self, key: RowKey) -> Option<Arc<Vec<Distance>>> {
@@ -395,7 +401,8 @@ impl RowCache {
         })
     }
 
-    fn insert(&mut self, key: RowKey, row: Arc<Vec<Distance>>) {
+    /// Inserts `row`, returning `true` when the insertion evicted a victim.
+    fn insert(&mut self, key: RowKey, row: Arc<Vec<Distance>>) -> bool {
         self.clock += 1;
         self.rows.insert(key, (row, self.clock));
         if self.rows.len() > self.capacity {
@@ -405,7 +412,38 @@ impl RowCache {
                 self.rows.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k)
             {
                 self.rows.remove(&victim);
+                self.evictions += 1;
+                return true;
             }
+        }
+        false
+    }
+}
+
+/// Registry handles of one telemetry-scoped oracle, created once at scope
+/// assignment so the hot path never touches the registry's name maps.
+#[derive(Clone)]
+struct OracleTelemetry {
+    rows_computed: Counter,
+    cache_hits: Counter,
+    evictions: Counter,
+    prefetch_batches: Counter,
+    prefetch_rows: Counter,
+    prefetch_batch_rows: Gauge,
+}
+
+impl OracleTelemetry {
+    /// Handles under the `oracle.<scope>.*` vocabulary.
+    fn for_scope(scope: &str) -> Self {
+        OracleTelemetry {
+            rows_computed: rtr_telemetry::counter(&format!("oracle.{scope}.rows_computed")),
+            cache_hits: rtr_telemetry::counter(&format!("oracle.{scope}.cache_hits")),
+            evictions: rtr_telemetry::counter(&format!("oracle.{scope}.evictions")),
+            prefetch_batches: rtr_telemetry::counter(&format!("oracle.{scope}.prefetch_batches")),
+            prefetch_rows: rtr_telemetry::counter(&format!("oracle.{scope}.prefetch_rows")),
+            prefetch_batch_rows: rtr_telemetry::gauge(&format!(
+                "oracle.{scope}.prefetch_batch_rows"
+            )),
         }
     }
 }
@@ -423,6 +461,7 @@ pub struct LazyDijkstraOracle<'g> {
     rows_computed: AtomicUsize,
     cache_hits: AtomicUsize,
     peak_resident: AtomicUsize,
+    telemetry: Option<OracleTelemetry>,
 }
 
 impl fmt::Debug for LazyDijkstraOracle<'_> {
@@ -448,7 +487,20 @@ impl<'g> LazyDijkstraOracle<'g> {
             rows_computed: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             peak_resident: AtomicUsize::new(0),
+            telemetry: None,
         }
+    }
+
+    /// Publishes this oracle's counters to the global telemetry registry
+    /// under the `oracle.<scope>.*` vocabulary (`rows_computed`,
+    /// `cache_hits`, `evictions`, `prefetch_batches`, `prefetch_rows`, plus
+    /// the `prefetch_batch_rows` occupancy gauge).  Counting happens at the
+    /// source — the same increments that feed [`stats`](Self::stats) — so an
+    /// exported telemetry counter can never drift from the oracle's own
+    /// accounting.
+    pub fn with_telemetry_scope(mut self, scope: &str) -> Self {
+        self.telemetry = Some(OracleTelemetry::for_scope(scope));
+        self
     }
 
     /// Creates the oracle with a default capacity of `max(64, n/16)` rows —
@@ -464,29 +516,72 @@ impl<'g> LazyDijkstraOracle<'g> {
 
     /// Current usage counters.
     pub fn stats(&self) -> OracleStats {
+        let (resident_rows, evictions) = {
+            let cache = self.cache.lock();
+            (cache.rows.len(), cache.evictions)
+        };
         OracleStats {
             rows_computed: self.rows_computed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             peak_resident_rows: self.peak_resident.load(Ordering::Relaxed),
-            resident_rows: self.cache.lock().rows.len(),
+            resident_rows,
+            evictions,
+        }
+    }
+
+    /// Row requests answered from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Row requests (or prefetches on behalf of an upcoming sweep) that had
+    /// to run a Dijkstra — one miss per row ever computed, recomputations
+    /// after an eviction included.
+    pub fn cache_misses(&self) -> usize {
+        self.rows_computed.load(Ordering::Relaxed)
+    }
+
+    /// Rows evicted by the LRU policy over the oracle's lifetime.
+    pub fn evictions(&self) -> usize {
+        self.cache.lock().evictions
+    }
+
+    /// Fraction of row accesses served from the cache:
+    /// `hits / (hits + misses)`, or 0 when nothing was accessed yet.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.cache_hits() as f64;
+        let total = hits + self.cache_misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
         }
     }
 
     fn fetch(&self, key: RowKey) -> Arc<Vec<Distance>> {
         if let Some(row) = self.cache.lock().get(key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.telemetry {
+                t.cache_hits.inc();
+            }
             return row;
         }
         // Compute outside the lock so concurrent misses on different rows
         // overlap; a racing duplicate computation is benign (same result).
         let row = Arc::new(compute_row(self.g, key));
         self.rows_computed.fetch_add(1, Ordering::Relaxed);
-        let resident = {
+        let (resident, evicted) = {
             let mut cache = self.cache.lock();
-            cache.insert(key, Arc::clone(&row));
-            cache.rows.len()
+            let evicted = cache.insert(key, Arc::clone(&row));
+            (cache.rows.len(), evicted)
         };
         self.peak_resident.fetch_max(resident, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.rows_computed.inc();
+            if evicted {
+                t.evictions.inc();
+            }
+        }
         row
     }
 }
@@ -538,6 +633,13 @@ impl DistanceOracle for LazyDijkstraOracle<'_> {
                 .take(cache.capacity.max(1))
                 .collect()
         };
+        // Prefetch-window occupancy: how many cold rows each batch actually
+        // carried (an all-hit window shows up as an empty batch).
+        if let Some(t) = &self.telemetry {
+            t.prefetch_batches.inc();
+            t.prefetch_rows.add(keys.len() as u64);
+            t.prefetch_batch_rows.set(keys.len() as u64);
+        }
         if keys.is_empty() {
             return;
         }
@@ -555,12 +657,18 @@ impl DistanceOracle for LazyDijkstraOracle<'_> {
                     let key = keys[i];
                     let row = Arc::new(compute_row(self.g, key));
                     self.rows_computed.fetch_add(1, Ordering::Relaxed);
-                    let resident = {
+                    let (resident, evicted) = {
                         let mut cache = self.cache.lock();
-                        cache.insert(key, row);
-                        cache.rows.len()
+                        let evicted = cache.insert(key, row);
+                        (cache.rows.len(), evicted)
                     };
                     self.peak_resident.fetch_max(resident, Ordering::Relaxed);
+                    if let Some(t) = &self.telemetry {
+                        t.rows_computed.inc();
+                        if evicted {
+                            t.evictions.inc();
+                        }
+                    }
                 });
             }
         })
@@ -597,6 +705,13 @@ impl<'g> CachedSubsetOracle<'g> {
     /// Creates the oracle over `g`.
     pub fn new(g: &'g DiGraph) -> Self {
         CachedSubsetOracle { inner: LazyDijkstraOracle::new(g, usize::MAX) }
+    }
+
+    /// Publishes this oracle's counters under `oracle.<scope>.*` — see
+    /// [`LazyDijkstraOracle::with_telemetry_scope`].
+    pub fn with_telemetry_scope(mut self, scope: &str) -> Self {
+        self.inner = self.inner.with_telemetry_scope(scope);
+        self
     }
 
     /// The underlying graph.
@@ -816,6 +931,33 @@ mod tests {
         // One shared sweep: 9 distinct destinations cost exactly 2 rows each
         // even though the per-shard lists are all smaller than a window.
         assert_eq!(lazy.stats().rows_computed, 2 * 9);
+    }
+
+    #[test]
+    fn accessors_and_telemetry_count_at_the_source() {
+        let g = strongly_connected_gnp(30, 0.12, 21).unwrap();
+        let lazy = LazyDijkstraOracle::new(&g, 4).with_telemetry_scope("test_oracle");
+        for u in g.nodes() {
+            let _ = lazy.roundtrip_row(u);
+        }
+        // The last source's rows are still resident: guaranteed hits.
+        let _ = lazy.roundtrip_row(NodeId(29));
+        let stats = lazy.stats();
+        assert_eq!(lazy.cache_misses(), stats.rows_computed);
+        assert_eq!(lazy.cache_hits(), stats.cache_hits);
+        assert_eq!(lazy.evictions(), stats.evictions);
+        assert!(stats.evictions > 0, "a 4-row cache sweeping 60 rows must evict");
+        assert!(stats.cache_hits >= 2);
+        assert!(lazy.hit_rate() > 0.0 && lazy.hit_rate() < 1.0);
+        // The telemetry counters are incremented by the same code paths that
+        // feed stats(), so they can never drift.
+        let reg = rtr_telemetry::registry();
+        assert_eq!(
+            reg.counter_value("oracle.test_oracle.rows_computed"),
+            stats.rows_computed as u64
+        );
+        assert_eq!(reg.counter_value("oracle.test_oracle.cache_hits"), stats.cache_hits as u64);
+        assert_eq!(reg.counter_value("oracle.test_oracle.evictions"), stats.evictions as u64);
     }
 
     #[test]

@@ -87,6 +87,7 @@ pub fn broadcast_rows_with_threads<O: DistanceOracle + ?Sized>(
     if n == 0 || consumers.is_empty() {
         return;
     }
+    let _span = rtr_telemetry::span!("metric.broadcast_rows", format_args!("n={n}"));
     let deliver = |v: NodeId| {
         let fwd = m.row(v);
         let rev = m.rev_row(v);

@@ -195,6 +195,10 @@ impl<'g> LandmarkSweep<'g> {
     ///
     /// Panics if the sweep has not visited every node yet.
     pub fn finish(self) -> LandmarkBallScheme {
+        let _span = rtr_telemetry::span!(
+            "landmark.finish",
+            format_args!("landmarks={}", self.sampled.len())
+        );
         let (g, sampled) = (self.g, self.sampled);
         let per_node = self.slots.into_vec();
         let mut nearest_sampled = Vec::with_capacity(per_node.len());

@@ -1,0 +1,224 @@
+//! Export: the hand-rolled `RTR_TELEMETRY_JSON` artifact and the
+//! human-readable span-tree report.  Both iterate sorted snapshots so output
+//! is deterministic for a given registry state.
+
+use crate::metrics::bucket_floor_ns;
+use crate::registry::Registry;
+use std::fmt::Write as _;
+
+/// Escapes `s` for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats `ns` as a human-readable duration (`412ns`, `3.2µs`, `1.48s`).
+fn human_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+impl Registry {
+    /// Serializes the registry as the `RTR_TELEMETRY_JSON` artifact:
+    ///
+    /// ```json
+    /// {
+    ///   "counters": { "<name>": <u64>, ... },
+    ///   "gauges": { "<name>": { "value": <u64>, "high_water": <u64> }, ... },
+    ///   "histograms": {
+    ///     "<name>": { "count": <u64>, "sum_ns": <u64>, "max_ns": <u64>,
+    ///                  "buckets": [[<floor_ns>, <count>], ...] }, ...
+    ///   },
+    ///   "spans": [ { "path": "<a/b>", "count": <u64>,
+    ///                "total_ns": <u64>, "max_ns": <u64> }, ... ],
+    ///   "flight": [ { "path": "<a/b>", "detail": "<str>",
+    ///                 "dur_ns": <u64>, "at_ns": <u64> }, ... ]
+    /// }
+    /// ```
+    ///
+    /// Histogram `buckets` lists only non-empty log₂-ns buckets as
+    /// `[inclusive floor in ns, count]` pairs.  Maps are name-sorted; spans
+    /// are path-sorted; flight events are oldest-first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.counters_snapshot();
+        for (i, (name, value)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", escape(name), value);
+        }
+        out.push_str(if counters.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"gauges\": {");
+        let gauges = self.gauges_snapshot();
+        for (i, (name, value, high)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"value\": {}, \"high_water\": {} }}",
+                escape(name),
+                value,
+                high
+            );
+        }
+        out.push_str(if gauges.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"histograms\": {");
+        let histograms = self.histograms_snapshot();
+        for (i, (name, count, sum_ns, max_ns, buckets)) in histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let cells: Vec<String> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(b, &c)| format!("[{}, {}]", bucket_floor_ns(b), c))
+                .collect();
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{ \"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \
+                 \"buckets\": [{}] }}",
+                escape(name),
+                count,
+                sum_ns,
+                max_ns,
+                cells.join(", ")
+            );
+        }
+        out.push_str(if histograms.is_empty() { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"spans\": [");
+        let spans = self.spans();
+        for (i, (path, stats)) in spans.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{ \"path\": \"{}\", \"count\": {}, \"total_ns\": {}, \
+                 \"max_ns\": {} }}",
+                escape(path),
+                stats.count,
+                stats.total_ns,
+                stats.max_ns
+            );
+        }
+        out.push_str(if spans.is_empty() { "],\n" } else { "\n  ],\n" });
+
+        out.push_str("  \"flight\": [");
+        let flight = self.flight();
+        for (i, event) in flight.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{ \"path\": \"{}\", \"detail\": \"{}\", \"dur_ns\": {}, \
+                 \"at_ns\": {} }}",
+                escape(&event.path),
+                escape(&event.detail),
+                event.dur_ns,
+                event.at_ns
+            );
+        }
+        out.push_str(if flight.is_empty() { "]\n}\n" } else { "\n  ]\n}\n" });
+        out
+    }
+
+    /// Renders the aggregated spans as an indented tree, one line per path,
+    /// children nested under their parents:
+    ///
+    /// ```text
+    /// span tree (count · total · mean · max)
+    ///   build.sparse_suite               1    5.31s    5.31s    5.31s
+    ///     build.shared_sweep             1    3.10s    3.10s    3.10s
+    /// ```
+    pub fn span_report(&self) -> String {
+        let mut spans = self.spans();
+        // Component-wise sort keeps a parent immediately above its subtree
+        // even when sibling names share prefixes.
+        spans.sort_by(|(a, _), (b, _)| {
+            a.split('/').collect::<Vec<_>>().cmp(&b.split('/').collect::<Vec<_>>())
+        });
+        let mut out = String::from("span tree (count · total · mean · max)\n");
+        if spans.is_empty() {
+            out.push_str("  (no spans recorded)\n");
+            return out;
+        }
+        let width = spans
+            .iter()
+            .map(|(p, _)| {
+                let depth = p.matches('/').count();
+                2 * depth + p.rsplit('/').next().unwrap_or(p).len()
+            })
+            .max()
+            .unwrap_or(0)
+            .max(20);
+        for (path, stats) in &spans {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let mean = stats.total_ns.checked_div(stats.count).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:indent$}{:<width$} {:>6} {:>9} {:>9} {:>9}",
+                "",
+                name,
+                stats.count,
+                human_ns(stats.total_ns),
+                human_ns(mean),
+                human_ns(stats.max_ns),
+                indent = 2 * depth,
+                width = width - 2 * depth,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn json_has_all_sections_and_escapes() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        r.counter("a\"b").add(2);
+        r.gauge("g").set(5);
+        r.histogram("h").observe(Duration::from_nanos(100));
+        r.complete_span("x/y".into(), "d".into(), Duration::from_nanos(50));
+        let json = r.to_json();
+        for section in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\"", "\"flight\""] {
+            assert!(json.contains(section), "missing {section} in {json}");
+        }
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("\"high_water\": 5"));
+        assert!(json.contains("[64, 1]"), "100ns lands in the [64,128) bucket: {json}");
+    }
+
+    #[test]
+    fn span_report_indents_children() {
+        let r = Registry::new();
+        r.complete_span("build".into(), String::new(), Duration::from_millis(5));
+        r.complete_span("build/sweep".into(), String::new(), Duration::from_millis(3));
+        let report = r.span_report();
+        let lines: Vec<&str> = report.lines().collect();
+        assert!(lines[1].starts_with("  build"));
+        assert!(lines[2].starts_with("    sweep"));
+    }
+}

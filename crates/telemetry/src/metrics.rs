@@ -1,0 +1,261 @@
+//! The three metric primitives: striped counters, high-water gauges and
+//! fixed-bucket duration histograms.  All handles are cheap `Arc` clones of
+//! registry-owned state, so call sites cache them once and write lock-free.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Stripes per counter.  Threads hash to stripes round-robin; eight
+/// cache-line-aligned slots are enough to keep any realistic worker pool
+/// from bouncing a line on concurrent increments.
+const STRIPES: usize = 8;
+
+/// Log₂-nanosecond buckets per duration histogram.  Bucket `i` holds
+/// durations in `[2^(i-1), 2^i)` ns (bucket 0 holds `[0, 1]` ns); the last
+/// bucket absorbs everything from ~9 minutes up.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Monotonically assigns each thread a stripe index on first use.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+fn stripe_index() -> usize {
+    STRIPE.with(|s| *s)
+}
+
+/// One cache line per stripe so concurrent writers never share a line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct Stripe(AtomicU64);
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterInner {
+    stripes: [Stripe; STRIPES],
+}
+
+impl CounterInner {
+    pub(crate) fn reset(&self) {
+        for s in &self.stripes {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A monotonically increasing `u64` counter, striped over padded atomics.
+///
+/// Handles are cheap clones of shared state; `add` is a single relaxed
+/// `fetch_add` on the calling thread's stripe (or a branch, when the sink is
+/// disabled), `value` sums the stripes.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    inner: Arc<CounterInner>,
+}
+
+impl Counter {
+    pub(crate) fn new(inner: Arc<CounterInner>) -> Self {
+        Counter { inner }
+    }
+
+    /// Adds `delta` (no-op when the sink is disabled).
+    pub fn add(&self, delta: u64) {
+        if crate::enabled() {
+            self.inner.stripes[stripe_index()].0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total (sum over stripes).  Reads are always live, even
+    /// with the sink disabled.
+    pub fn value(&self) -> u64 {
+        self.inner.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeInner {
+    value: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl GaugeInner {
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> (u64, u64) {
+        (self.value.load(Ordering::Relaxed), self.high_water.load(Ordering::Relaxed))
+    }
+}
+
+/// A `u64` gauge that remembers its high-water mark.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+impl Gauge {
+    pub(crate) fn new(inner: Arc<GaugeInner>) -> Self {
+        Gauge { inner }
+    }
+
+    /// Stores `v` and raises the high-water mark if `v` exceeds it.
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.inner.value.store(v, Ordering::Relaxed);
+            self.inner.high_water.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises both the value and the high-water mark to at least `v` —
+    /// the idiom for publishing a locally tracked maximum.
+    pub fn set_max(&self, v: u64) {
+        if crate::enabled() {
+            self.inner.value.fetch_max(v, Ordering::Relaxed);
+            self.inner.high_water.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last stored value.
+    pub fn value(&self) -> u64 {
+        self.inner.value.load(Ordering::Relaxed)
+    }
+
+    /// The largest value ever stored.
+    pub fn high_water(&self) -> u64 {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl HistogramInner {
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+/// The log₂-ns bucket index for a duration of `ns` nanoseconds.
+fn bucket_of(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        ((64 - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive lower bound (in ns) of bucket `i` — for labelling exports.
+pub(crate) fn bucket_floor_ns(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A fixed-bucket duration histogram: count, sum, max and `HISTOGRAM_BUCKETS`
+/// log₂-nanosecond buckets, all plain atomics.  Intended for coarse events
+/// (build stages, verify flushes), not the per-request path.
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl DurationHistogram {
+    pub(crate) fn new(inner: Arc<HistogramInner>) -> Self {
+        DurationHistogram { inner }
+    }
+
+    /// Records one duration (no-op when the sink is disabled).
+    pub fn observe(&self, d: Duration) {
+        if crate::enabled() {
+            let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            self.inner.count.fetch_add(1, Ordering::Relaxed);
+            self.inner.sum_ns.fetch_add(ns, Ordering::Relaxed);
+            self.inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+            self.inner.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded durations, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.inner.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// The largest recorded duration, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.inner.max_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_ns() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 2..HISTOGRAM_BUCKETS - 1 {
+            // Every bucket covers exactly [floor(i), floor(i+1)).
+            assert_eq!(bucket_of(bucket_floor_ns(i)), i);
+            assert_eq!(bucket_of(bucket_floor_ns(i + 1) - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max() {
+        let _guard = crate::test_lock();
+        let h = DurationHistogram::new(Arc::new(HistogramInner::default()));
+        h.observe(Duration::from_nanos(100));
+        h.observe(Duration::from_nanos(300));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ns(), 400);
+        assert_eq!(h.max_ns(), 300);
+        let buckets = h.inner.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! RAII spans with per-thread nesting.  Entering a span pushes its name onto
+//! a thread-local path (`outer/inner`); dropping the guard times the span,
+//! aggregates it in the registry under the full path, and appends a flight
+//! event.  Guards are deliberately `!Send` — a span times the thread that
+//! opened it.
+
+use crate::registry::registry;
+use std::cell::RefCell;
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+thread_local! {
+    /// The `/`-joined path of currently open spans on this thread.
+    static PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+struct Live {
+    start: Instant,
+    /// Path length before this span was pushed; drop truncates back to it.
+    prev_len: usize,
+    detail: String,
+}
+
+/// A timed span guard, created by [`Span::enter`] or the
+/// [`span!`](crate::span) macro.  Records itself into the global registry
+/// when dropped; inert (records nothing) when the sink is disabled at entry.
+#[derive(Debug)]
+pub struct Span {
+    live: Option<Live>,
+    /// Spans time the opening thread; sending the guard elsewhere would
+    /// corrupt that thread's path stack.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl std::fmt::Debug for Live {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Live").field("detail", &self.detail).finish_non_exhaustive()
+    }
+}
+
+impl Span {
+    /// Opens a span named `name` under the thread's current span path.
+    pub fn enter(name: &str) -> Span {
+        Span::open(name, String::new())
+    }
+
+    /// Opens a span with a `detail` annotation (recorded in the flight
+    /// event, not in the aggregate path).
+    pub fn enter_with(name: &str, detail: &dyn Display) -> Span {
+        if !crate::enabled() {
+            return Span { live: None, _not_send: PhantomData };
+        }
+        Span::open(name, detail.to_string())
+    }
+
+    fn open(name: &str, detail: String) -> Span {
+        if !crate::enabled() {
+            return Span { live: None, _not_send: PhantomData };
+        }
+        let prev_len = PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let prev = p.len();
+            if !p.is_empty() {
+                p.push('/');
+            }
+            p.push_str(name);
+            prev
+        });
+        Span {
+            live: Some(Live { start: Instant::now(), prev_len, detail }),
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(live) = self.live.take() {
+            let dur = live.start.elapsed();
+            let path = PATH.with(|p| {
+                let mut p = p.borrow_mut();
+                let full = p.clone();
+                p.truncate(live.prev_len);
+                full
+            });
+            registry().complete_span(path, live.detail, dur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_span_leaves_no_path_residue() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        {
+            let _s = Span::enter("test.span.inert");
+            PATH.with(|p| assert!(p.borrow().is_empty()));
+        }
+        crate::set_enabled(true);
+        {
+            let _a = Span::enter("test.span.a");
+            PATH.with(|p| assert_eq!(*p.borrow(), "test.span.a"));
+        }
+        PATH.with(|p| assert!(p.borrow().is_empty()));
+    }
+}

@@ -188,6 +188,24 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Number of messages currently queued.  A snapshot: by the time the
+    /// caller acts on it other threads may have enqueued or dequeued — fine
+    /// for telemetry (queue-depth high-water sampling), not for
+    /// synchronisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel mutex was poisoned by a panicking thread.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("channel poisoned").queue.len()
+    }
+
+    /// True when no message is currently queued (same snapshot caveat as
+    /// [`Receiver::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Dequeues a message without blocking.
     ///
     /// # Errors
@@ -278,6 +296,18 @@ mod tests {
         assert_eq!(rx.try_recv(), Ok(1));
         tx.try_send(2).unwrap();
         assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn len_reports_queued_messages() {
+        let (tx, rx) = bounded(4);
+        assert!(rx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.len(), 1);
+        assert!(!rx.is_empty());
     }
 
     #[test]
