@@ -45,6 +45,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is the scheme layer: its built schemes are frozen
+//! into `rtr-engine` planes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

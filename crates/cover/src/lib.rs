@@ -18,6 +18,10 @@
 //!   blow-up) that experiment E7 compares against the theorem's bounds.
 //!
 //! All constructions are deterministic given the input graph.
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is a mid-pipeline substrate: its hierarchies back
+//! the §3/§4 schemes in `rtr-core`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

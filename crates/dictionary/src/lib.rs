@@ -22,6 +22,10 @@
 //! * [`NodeName`] — the topology-independent name type, kept deliberately
 //!   distinct from `rtr_graph::NodeId` (the topological index) so that code
 //!   cannot accidentally "cheat" by treating a name as topology information.
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is a mid-pipeline substrate: its blocks give the
+//! schemes name-independence.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

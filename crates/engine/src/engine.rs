@@ -235,6 +235,40 @@ impl Engine {
     /// function of the destination, per-shard buckets hold
     /// destination-disjoint trip sets, and the merge is commutative.
     ///
+    /// ```
+    /// use rtr_core::naming::NamingAssignment;
+    /// use rtr_core::{Stretch6Params, StretchSix};
+    /// use rtr_engine::{Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane};
+    /// use rtr_engine::{StretchBound, VerifyConfig, Workload};
+    /// use rtr_graph::generators::strongly_connected_gnp;
+    /// use rtr_metric::DistanceMatrix;
+    /// use rtr_namedep::ExactOracleScheme;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let g = Arc::new(strongly_connected_gnp(32, 0.15, 5)?);
+    /// let m = DistanceMatrix::build(&g);
+    /// let names = NamingAssignment::random(g.node_count(), 1);
+    /// let scheme =
+    ///     StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+    /// let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
+    /// let requests = Workload::Mix.generate(g.node_count(), 1_000, 3);
+    /// let engine = Engine::new(EngineConfig::with_workers(2));
+    /// let config = VerifyConfig::full().with_bound(StretchBound::at_most(6));
+    ///
+    /// // The report is bit-identical for any shard count (and to the
+    /// // unsharded engine) — only the per-shard accounting differs.
+    /// let two = ShardedPlane::new(plane.clone(), ShardMap::hashed(32, 2, 9));
+    /// let five = ShardedPlane::new(plane, ShardMap::hashed(32, 5, 9));
+    /// let a = engine.serve_verified_sharded(&two, &requests, &m, &config)?;
+    /// let b = engine.serve_verified_sharded(&five, &requests, &m, &config)?;
+    /// assert_eq!(a.report, b.report);
+    /// assert_eq!(a.report.checked, 1_000);
+    /// assert_eq!(b.shards.len(), 5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// As [`serve_verified`](Self::serve_verified):
@@ -427,7 +461,10 @@ impl Engine {
     /// failing worker trips the abort flag; in-flight handoffs are then
     /// dropped, every accumulator is discarded, and the first error is
     /// returned (worker panics propagate with their payload).
-    fn run_sharded_pool<S, A>(
+    ///
+    /// `pub(crate)` so the streaming session ([`crate::VerifiedStream`]) can
+    /// drive the same pool batch by batch.
+    pub(crate) fn run_sharded_pool<S, A>(
         &self,
         plane: &ShardedPlane<S>,
         requests: &[Request],

@@ -38,6 +38,11 @@
 //!   bound violations) is bit-identical for any shard × worker count and
 //!   hard-fails — [`VerifyServeError::BoundExceeded`] — when a trip exceeds
 //!   the scheme's proven stretch ceiling.
+//! * [`Engine::open_stream`] / [`VerifiedStream`] — the **streaming request
+//!   source**: the same verified sharded serving fed batch by batch, for
+//!   callers (the `rtr-serve` TCP front door) that receive requests over
+//!   time.  However the stream is split, the final report is bit-identical
+//!   to one [`Engine::serve_verified_sharded`] call over the whole stream.
 //!
 //! The engine is **observationally identical** to the sequential simulator:
 //! [`Engine::collect`] returns the very [`rtr_sim::RoundtripReport`]s a
@@ -94,6 +99,7 @@ mod engine;
 mod plane;
 mod shard;
 mod stats;
+mod stream;
 mod verify;
 mod workload;
 
@@ -103,6 +109,7 @@ pub use shard::{
     ShardMap, ShardPolicy, ShardServeStats, ShardedPlane, ShardedServe, VerifiedShardedServe,
 };
 pub use stats::ServeSummary;
+pub use stream::{ServedTrip, VerifiedStream};
 pub use verify::{
     verify_sequential, StretchBound, StretchHistogram, VerifiedReport, VerifiedServe, VerifiedTrip,
     VerifyConfig, VerifyCost, VerifyMode, VerifyServeError, STRETCH_HISTOGRAM_SCALE,

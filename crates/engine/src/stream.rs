@@ -1,0 +1,445 @@
+//! Streaming verified serving: the request-source entry point for callers —
+//! like the TCP front door in `rtr-serve` — that do not hold the whole
+//! request stream up front.
+//!
+//! [`Engine::open_stream`] opens a long-lived [`VerifiedStream`] session
+//! over a [`ShardedPlane`].  Each [`VerifiedStream::serve_batch`] call
+//! serves one micro-batch through the same per-shard destination buckets as
+//! [`Engine::serve_verified_sharded`] and assigns every request a **global
+//! stream index** in admission order; [`VerifiedStream::finish`] closes the
+//! session into a [`VerifiedShardedServe`].
+//!
+//! The load-bearing property (asserted by the tests below): however the
+//! stream is split into batches, the final [`crate::VerifiedReport`] is
+//! **bit-identical** to one [`Engine::serve_verified_sharded`] call over the
+//! concatenated stream.  This holds because the report is already
+//! flush-schedule-independent — counts and totals merge commutatively, the
+//! worst trip is a maximum under a total order, and violations sort by
+//! global index — so cutting the stream into per-batch flushes changes only
+//! the schedule-dependent [`crate::VerifyCost`], never the report.  The row
+//! economy survives too: per-batch flushes re-touch destination rows, but a
+//! verify oracle whose cache holds `2 · distinct(destinations)` rows turns
+//! every repeat into a cache hit, so *computed* rows stay
+//! `≈ 2 · distinct(stream destinations)` regardless of arrival order.
+
+use crate::engine::Engine;
+use crate::shard::{ShardServeStats, ShardedPlane, VerifiedShardedServe};
+use crate::stats::{ServeSummary, WorkerStats};
+use crate::verify::{
+    VerifiedReport, VerifyAccumulator, VerifyConfig, VerifyCost, VerifyServeError,
+};
+use crate::workload::Request;
+use rtr_graph::Distance;
+use rtr_metric::DistanceOracle;
+use rtr_sim::RoundtripRouting;
+use std::time::{Duration, Instant};
+
+/// One served request of a [`VerifiedStream`] batch — the reply a network
+/// front door sends back to the requesting client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedTrip {
+    /// Global index of the request in the stream, assigned in admission
+    /// order by the session.
+    pub index: usize,
+    /// Total hops of the served roundtrip.
+    pub hops: usize,
+    /// Measured roundtrip weight of the served route.
+    pub weight: Distance,
+}
+
+/// Per-shard accumulator of one batch: serving stats, the verification
+/// buckets, and the per-request replies.
+type BatchAcc = (WorkerStats, VerifyAccumulator, Vec<ServedTrip>);
+
+/// A long-lived verified serving session fed batch by batch.
+///
+/// Obtained from [`Engine::open_stream`]; the docs at the top of
+/// `stream.rs` spell out the equivalence and row-economy contracts.
+#[derive(Debug)]
+pub struct VerifiedStream<'a, S, O: ?Sized> {
+    engine: &'a Engine,
+    plane: &'a ShardedPlane<S>,
+    oracle: &'a O,
+    config: VerifyConfig,
+    next_index: usize,
+    merged: WorkerStats,
+    report: VerifiedReport,
+    cost: VerifyCost,
+    shards: Vec<ShardServeStats>,
+    serve_wall: Duration,
+}
+
+impl Engine {
+    /// Opens a streaming verified session over `plane`: the incremental
+    /// counterpart of [`Engine::serve_verified_sharded`] for callers that
+    /// receive requests over time (the `rtr-serve` front door) instead of
+    /// holding a pre-generated workload.
+    ///
+    /// The session's [`VerifyConfig::strict`] contract is enforced at
+    /// [`VerifiedStream::finish`], not per batch, so a violation discovered
+    /// mid-stream never aborts serving.
+    ///
+    /// ```
+    /// use rtr_core::naming::NamingAssignment;
+    /// use rtr_core::{Stretch6Params, StretchSix};
+    /// use rtr_engine::{Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane};
+    /// use rtr_engine::{VerifyConfig, Workload};
+    /// use rtr_graph::generators::strongly_connected_gnp;
+    /// use rtr_metric::DistanceMatrix;
+    /// use rtr_namedep::ExactOracleScheme;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let g = Arc::new(strongly_connected_gnp(32, 0.15, 5)?);
+    /// let m = DistanceMatrix::build(&g);
+    /// let names = NamingAssignment::random(g.node_count(), 1);
+    /// let scheme =
+    ///     StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+    /// let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
+    /// let sharded = ShardedPlane::new(plane, ShardMap::hashed(32, 3, 7));
+    /// let requests = Workload::Mix.generate(32, 600, 11);
+    /// let engine = Engine::new(EngineConfig::with_workers(2));
+    /// let config = VerifyConfig::full();
+    ///
+    /// // Feed the stream in uneven batches: the final report is
+    /// // bit-identical to one serve_verified_sharded call over the whole
+    /// // stream.
+    /// let mut session = engine.open_stream(&sharded, &m, &config);
+    /// for chunk in requests.chunks(17) {
+    ///     let replies = session.serve_batch(chunk)?;
+    ///     assert_eq!(replies.len(), chunk.len());
+    /// }
+    /// let streamed = session.finish()?;
+    /// let oneshot = engine.serve_verified_sharded(&sharded, &requests, &m, &config)?;
+    /// assert_eq!(streamed.report, oneshot.report);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn open_stream<'a, S, O>(
+        &'a self,
+        plane: &'a ShardedPlane<S>,
+        oracle: &'a O,
+        verify: &VerifyConfig,
+    ) -> VerifiedStream<'a, S, O>
+    where
+        S: RoundtripRouting + Send + Sync,
+        O: DistanceOracle + ?Sized,
+    {
+        let shards = plane.map().shard_count();
+        VerifiedStream {
+            engine: self,
+            plane,
+            oracle,
+            config: *verify,
+            next_index: 0,
+            merged: WorkerStats::new(),
+            report: VerifiedReport::default(),
+            cost: VerifyCost::default(),
+            shards: (0..shards)
+                .map(|s| ShardServeStats { shard: s, queries: 0, handoffs: 0 })
+                .collect(),
+            serve_wall: Duration::ZERO,
+        }
+    }
+}
+
+impl<S, O> VerifiedStream<'_, S, O>
+where
+    S: RoundtripRouting + Send + Sync,
+    O: DistanceOracle + ?Sized,
+{
+    /// Serves one micro-batch, verifying it through the session's per-shard
+    /// destination buckets, and returns the per-request replies sorted by
+    /// their assigned global stream index (`replies[i]` answers
+    /// `requests[i]`).
+    ///
+    /// Batches no larger than [`crate::EngineConfig::chunk_size`] are served
+    /// inline on the calling thread (a network front door coalescing small
+    /// request bursts should not pay a pool spawn per burst); larger batches
+    /// fan out over the engine's sharded worker pool.  Both paths produce
+    /// identical reports and replies.
+    ///
+    /// # Errors
+    ///
+    /// The first simulator error, as [`VerifyServeError::Sim`].  A failed
+    /// batch contributes nothing to the session: no indices are consumed and
+    /// the report is unchanged (oracle cache warm-up from partial
+    /// verification may have occurred).
+    pub fn serve_batch(
+        &mut self,
+        requests: &[Request],
+    ) -> Result<Vec<ServedTrip>, VerifyServeError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.next_index;
+        let started = Instant::now();
+        let per_shard = if requests.len() <= self.engine.config().chunk_size.max(1) {
+            self.serve_batch_inline(requests, base)?
+        } else {
+            self.serve_batch_pooled(requests, base)?
+        };
+        let elapsed = started.elapsed();
+
+        let mut replies = Vec::with_capacity(requests.len());
+        let mut accs = Vec::with_capacity(per_shard.len());
+        let mut batch_queries = 0usize;
+        let mut batch_handoffs = 0u64;
+        for (shard, handoffs, (stats, acc, served)) in per_shard {
+            let slot = &mut self.shards[shard];
+            slot.queries += stats.queries as u64;
+            slot.handoffs += handoffs;
+            batch_queries += stats.queries;
+            batch_handoffs += handoffs;
+            self.merged.merge(stats);
+            accs.push(acc);
+            replies.extend(served);
+        }
+        debug_assert_eq!(batch_queries, requests.len(), "a batch request went unserved");
+        if batch_handoffs > 0 {
+            rtr_telemetry::counter("engine.handoffs").add(batch_handoffs);
+        }
+        let (report, cost) = VerifyAccumulator::merge_all(accs, batch_queries);
+        self.report.merge(report);
+        self.cost.merge(cost);
+        self.serve_wall += elapsed;
+        self.next_index = base + requests.len();
+        replies.sort_unstable_by_key(|t| t.index);
+        Ok(replies)
+    }
+
+    /// The sequential path for small batches: per-shard buckets on the
+    /// calling thread, one shared flush sweep at the end — exactly the
+    /// one-worker sharded pool, minus the threads (handoffs stay 0).
+    fn serve_batch_inline(
+        &self,
+        requests: &[Request],
+        base: usize,
+    ) -> Result<Vec<(usize, u64, BatchAcc)>, VerifyServeError> {
+        let map = self.plane.map();
+        let plane = self.plane.plane();
+        let sim = plane.simulator();
+        let mode = self.config.mode;
+        let mut accs: Vec<(usize, u64, BatchAcc)> = (0..map.shard_count())
+            .map(|s| {
+                (s, 0u64, (WorkerStats::new(), VerifyAccumulator::new(&self.config), Vec::new()))
+            })
+            .collect();
+        for (off, req) in requests.iter().enumerate() {
+            let index = base + off;
+            let slot = &mut accs[map.shard_of(req.dst)].2;
+            let brief =
+                sim.roundtrip_brief(plane.scheme(), req.src, req.dst, plane.name_of(req.dst))?;
+            slot.0.record(&brief);
+            if mode.checks(index) {
+                slot.1.push(self.oracle, index, req, brief.total_weight());
+            }
+            slot.2.push(ServedTrip {
+                index,
+                hops: brief.total_hops(),
+                weight: brief.total_weight(),
+            });
+        }
+        let mut parts: Vec<&mut VerifyAccumulator> =
+            accs.iter_mut().map(|(_, _, a)| &mut a.1).collect();
+        VerifyAccumulator::flush_sharded(&mut parts, self.oracle);
+        Ok(accs)
+    }
+
+    /// The pooled path for large batches: the sharded worker pool with
+    /// global indices offset by `base`.
+    fn serve_batch_pooled(
+        &self,
+        requests: &[Request],
+        base: usize,
+    ) -> Result<Vec<(usize, u64, BatchAcc)>, VerifyServeError> {
+        let mode = self.config.mode;
+        let config = self.config;
+        let oracle = self.oracle;
+        let out = self.engine.run_sharded_pool(
+            self.plane,
+            requests,
+            |_shard| (WorkerStats::new(), VerifyAccumulator::new(&config), Vec::new()),
+            |sim, plane, index, req, (stats, acc, served): &mut BatchAcc| {
+                let brief =
+                    sim.roundtrip_brief(plane.scheme(), req.src, req.dst, plane.name_of(req.dst))?;
+                stats.record(&brief);
+                let global = base + index;
+                if mode.checks(global) {
+                    acc.push(oracle, global, req, brief.total_weight());
+                }
+                served.push(ServedTrip {
+                    index: global,
+                    hops: brief.total_hops(),
+                    weight: brief.total_weight(),
+                });
+                Ok(())
+            },
+            |owned| {
+                let mut parts: Vec<&mut VerifyAccumulator> =
+                    owned.iter_mut().map(|(_, _, (_, acc, _))| acc).collect();
+                VerifyAccumulator::flush_sharded(&mut parts, oracle);
+                Ok(())
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Requests served so far (the next global index to be assigned).
+    pub fn served(&self) -> usize {
+        self.next_index
+    }
+
+    /// The verification report accumulated so far.  Buckets drain at the end
+    /// of every batch, so this is always complete up to the last
+    /// [`serve_batch`](Self::serve_batch) — the `/report` endpoint of the
+    /// front door serves a clone of exactly this.
+    pub fn report(&self) -> &VerifiedReport {
+        &self.report
+    }
+
+    /// The schedule-dependent flush/row cost counters so far.
+    pub fn cost(&self) -> &VerifyCost {
+        &self.cost
+    }
+
+    /// Closes the session: folds the merged serving stats into telemetry
+    /// (once, like every one-shot serve call), and returns the same
+    /// [`VerifiedShardedServe`] the one-shot engine would have produced for
+    /// the concatenated stream — modulo the schedule-dependent cost and
+    /// handoff counters.
+    ///
+    /// # Errors
+    ///
+    /// In strict mode, [`VerifyServeError::ShardedBoundExceeded`] when any
+    /// checked trip exceeded the configured stretch bound; the full outcome
+    /// rides along.
+    pub fn finish(self) -> Result<VerifiedShardedServe, VerifyServeError> {
+        let workers = self.engine.config().workers.max(1);
+        let mut report = self.report;
+        report.violations.sort_by_key(|v| v.index);
+        let summary = ServeSummary::from_stats(self.merged, workers, self.serve_wall);
+        let outcome =
+            VerifiedShardedServe { summary, report, cost: self.cost, shards: self.shards };
+        if self.config.strict && !outcome.report.is_clean() {
+            return Err(VerifyServeError::ShardedBoundExceeded(Box::new(outcome)));
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plane::tests::ring_plane;
+    use crate::workload::Workload;
+    use crate::{EngineConfig, ShardMap, StretchBound};
+    use rtr_metric::DistanceMatrix;
+
+    #[test]
+    fn streaming_matches_one_shot_for_any_split() {
+        let plane = ring_plane(16);
+        let m = DistanceMatrix::build(plane.graph());
+        let requests = Workload::Mix.generate(16, 900, 5);
+        let engine = Engine::new(EngineConfig::with_workers(3));
+        let sharded = ShardedPlane::new(plane, ShardMap::hashed(16, 4, 9));
+        let config = VerifyConfig::full();
+        let oneshot = engine.serve_verified_sharded(&sharded, &requests, &m, &config).unwrap();
+        // Splits cover both serve_batch paths: 1/7 inline, 256 boundary,
+        // 333/900 pooled.
+        for split in [1usize, 7, 256, 333, 900] {
+            let mut session = engine.open_stream(&sharded, &m, &config);
+            let mut replies = Vec::new();
+            for chunk in requests.chunks(split) {
+                replies.extend(session.serve_batch(chunk).unwrap());
+            }
+            assert_eq!(session.served(), 900);
+            let streamed = session.finish().unwrap();
+            assert_eq!(streamed.report, oneshot.report, "split {split}");
+            assert_eq!(streamed.summary.queries, 900);
+            let shard_queries: Vec<(usize, u64)> =
+                streamed.shards.iter().map(|s| (s.shard, s.queries)).collect();
+            let expected: Vec<(usize, u64)> =
+                oneshot.shards.iter().map(|s| (s.shard, s.queries)).collect();
+            assert_eq!(shard_queries, expected, "split {split}");
+            assert_eq!(replies.len(), 900);
+            assert!(replies.iter().enumerate().all(|(i, t)| t.index == i));
+        }
+    }
+
+    #[test]
+    fn replies_match_the_sequential_simulator() {
+        let plane = ring_plane(11);
+        let m = DistanceMatrix::build(plane.graph());
+        let requests = Workload::Uniform.generate(11, 300, 17);
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let sharded = ShardedPlane::new(plane.clone(), ShardMap::range(11, 3));
+        let mut session = engine.open_stream(&sharded, &m, &VerifyConfig::full());
+        let mut replies = Vec::new();
+        for chunk in requests.chunks(100) {
+            replies.extend(session.serve_batch(chunk).unwrap());
+        }
+        let sim = plane.simulator();
+        for (req, trip) in requests.iter().zip(&replies) {
+            let brief = sim
+                .roundtrip_brief(plane.scheme(), req.src, req.dst, plane.name_of(req.dst))
+                .unwrap();
+            assert_eq!(trip.hops, brief.total_hops());
+            assert_eq!(trip.weight, brief.total_weight());
+        }
+    }
+
+    #[test]
+    fn sampled_mode_strides_by_global_index_across_batches() {
+        let plane = ring_plane(9);
+        let m = DistanceMatrix::build(plane.graph());
+        let requests = Workload::Zipf { exponent: 1.1 }.generate(9, 500, 23);
+        let engine = Engine::new(EngineConfig::with_workers(2));
+        let sharded = ShardedPlane::new(plane, ShardMap::hashed(9, 2, 3));
+        let config = VerifyConfig::sampled(7);
+        let oneshot = engine.serve_verified_sharded(&sharded, &requests, &m, &config).unwrap();
+        let mut session = engine.open_stream(&sharded, &m, &config);
+        for chunk in requests.chunks(13) {
+            session.serve_batch(chunk).unwrap();
+        }
+        let streamed = session.finish().unwrap();
+        assert_eq!(streamed.report, oneshot.report);
+        assert_eq!(streamed.report.checked, 500usize.div_ceil(7));
+    }
+
+    #[test]
+    fn strict_sessions_fail_at_finish_not_per_batch() {
+        let plane = ring_plane(12);
+        let m = DistanceMatrix::build(plane.graph());
+        let requests = Workload::Uniform.generate(12, 120, 5);
+        let engine = Engine::default();
+        let sharded = ShardedPlane::new(plane, ShardMap::range(12, 2));
+        // An impossible ceiling (stretch < 1/2) flags every trip, but batches
+        // keep serving; the strict contract fires when the session closes.
+        let config = VerifyConfig::full().with_bound(StretchBound { num: 1, den: 2 });
+        let mut session = engine.open_stream(&sharded, &m, &config);
+        for chunk in requests.chunks(40) {
+            session.serve_batch(chunk).unwrap();
+        }
+        let err = session.finish().unwrap_err();
+        let VerifyServeError::ShardedBoundExceeded(outcome) = err else {
+            panic!("expected ShardedBoundExceeded");
+        };
+        assert_eq!(outcome.report.violations.len(), 120);
+        let indices: Vec<usize> = outcome.report.violations.iter().map(|v| v.index).collect();
+        assert_eq!(indices, (0..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        let plane = ring_plane(5);
+        let m = DistanceMatrix::build(plane.graph());
+        let engine = Engine::default();
+        let sharded = ShardedPlane::new(plane, ShardMap::single(5));
+        let mut session = engine.open_stream(&sharded, &m, &VerifyConfig::full());
+        assert!(session.serve_batch(&[]).unwrap().is_empty());
+        assert_eq!(session.served(), 0);
+        let outcome = session.finish().unwrap();
+        assert_eq!(outcome.report, VerifiedReport::default());
+    }
+}

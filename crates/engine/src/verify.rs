@@ -219,6 +219,33 @@ impl StretchHistogram {
         self.count
     }
 
+    /// Number of fixed-point buckets, including the final overflow bucket —
+    /// the exclusive upper bound on indices from
+    /// [`nonzero_buckets`](Self::nonzero_buckets).
+    pub const BUCKET_COUNT: usize = STRETCH_BUCKETS + 1;
+
+    /// The non-empty buckets as ascending `(bucket, count)` pairs — the
+    /// canonical sparse form the wire codec serializes (see
+    /// `docs/PROTOCOL.md`).
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets.iter().enumerate().filter(|&(_, &c)| c > 0).map(|(b, &c)| (b, c)).collect()
+    }
+
+    /// Rebuilds a histogram from sparse `(bucket, count)` pairs — the
+    /// inverse of [`nonzero_buckets`](Self::nonzero_buckets).  Returns `None`
+    /// when a bucket index is out of range or a count overflows `u64`.
+    pub fn from_nonzero_buckets(pairs: &[(usize, u64)]) -> Option<Self> {
+        let mut h = StretchHistogram::default();
+        for &(b, c) in pairs {
+            if b >= Self::BUCKET_COUNT {
+                return None;
+            }
+            h.buckets[b] = h.buckets[b].checked_add(c)?;
+            h.count = h.count.checked_add(c)?;
+        }
+        Some(h)
+    }
+
     /// The `p`-quantile (`0 ≤ p ≤ 1`) of the verified stretch, reported as
     /// the lower edge of its fixed-point bucket (exact to 1/32).
     pub fn percentile(&self, p: f64) -> f64 {
@@ -313,7 +340,7 @@ impl VerifiedReport {
         self.violations.is_empty()
     }
 
-    fn merge(&mut self, other: VerifiedReport) {
+    pub(crate) fn merge(&mut self, other: VerifiedReport) {
         self.queries += other.queries;
         self.checked += other.checked;
         self.total_measured += other.total_measured;
@@ -350,7 +377,7 @@ pub struct VerifyCost {
 }
 
 impl VerifyCost {
-    fn merge(&mut self, other: VerifyCost) {
+    pub(crate) fn merge(&mut self, other: VerifyCost) {
         self.flushes += other.flushes;
         self.row_fetches += other.row_fetches;
         self.peak_pending = self.peak_pending.max(other.peak_pending);

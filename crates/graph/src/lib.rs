@@ -40,6 +40,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is the first stage: it feeds the roundtrip metric
+//! in `rtr-metric`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -42,6 +42,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is stage two: its oracle rows feed every
+//! row-granular construction downstream.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

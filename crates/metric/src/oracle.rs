@@ -453,8 +453,8 @@ impl OracleTelemetry {
 /// Designed for large sparse graphs where the dense `n²` matrix does not fit:
 /// no work happens at construction, each row is a single-source Dijkstra on
 /// first touch, and at most `capacity` rows (forward and reverse counted
-/// separately) stay resident.  See the [module docs](self) for the trade-off
-/// against [`DistanceMatrix`] and [`CachedSubsetOracle`].
+/// separately) stay resident.  The docs at the top of `oracle.rs` spell out
+/// the trade-off against [`DistanceMatrix`] and [`CachedSubsetOracle`].
 pub struct LazyDijkstraOracle<'g> {
     g: &'g DiGraph,
     cache: Mutex<RowCache>,

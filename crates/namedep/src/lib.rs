@@ -28,6 +28,10 @@
 //! All substrates obey the fixed-port, local-tables-only discipline: their
 //! [`step`](NameDependentSubstrate::step) functions read only the current
 //! node's table and the (writable) label.
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is the substrate layer directly under the
+//! `rtr-core` schemes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,229 @@
+//! A blocking client for the front door: one frame out, one frame back.
+//!
+//! [`Client`] is deliberately minimal — a `TcpStream`, the codec from
+//! [`crate::protocol`], and one method per opcode.  It is what the loopback
+//! bench (`serve_net_throughput`), the CI smoke and the integration tests
+//! speak; anything else that can frame bytes per `docs/PROTOCOL.md`
+//! interoperates identically.
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, HealthInfo, ServedRoute, Status,
+    WireError, WireRequest, WireResponse, MAX_FRAME_LEN,
+};
+use rtr_engine::VerifiedReport;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed mid-frame.
+    Io(io::Error),
+    /// The server's bytes did not decode as a valid response.
+    Wire(WireError),
+    /// The server answered with a non-`Ok` status.
+    Rejected {
+        /// The failure status the server sent.
+        status: Status,
+        /// The server's diagnostic message.
+        message: String,
+    },
+    /// The server closed cleanly where a response frame was expected.
+    ConnectionClosed,
+    /// The server answered `Ok` with a record the request did not ask for.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "bad response: {e}"),
+            ClientError::Rejected { status, message } => {
+                write!(f, "rejected ({}): {message}", status.name())
+            }
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response record: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking connection to a [`serve`](crate::serve) front door.
+///
+/// The full loopback round trip — freeze a plane, serve it over TCP, query
+/// it, shut it down, and get back a verified session:
+///
+/// ```
+/// use rtr_core::naming::NamingAssignment;
+/// use rtr_core::{Stretch6Params, StretchSix};
+/// use rtr_engine::{Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane, VerifyConfig};
+/// use rtr_graph::generators::strongly_connected_gnp;
+/// use rtr_metric::DistanceMatrix;
+/// use rtr_namedep::ExactOracleScheme;
+/// use rtr_serve::{Client, ServeConfig};
+/// use std::net::TcpListener;
+/// use std::sync::atomic::AtomicBool;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Arc::new(strongly_connected_gnp(24, 0.2, 3)?);
+/// let m = DistanceMatrix::build(&g);
+/// let names = NamingAssignment::random(g.node_count(), 7);
+/// let scheme =
+///     StretchSix::build(&g, &m, &names, ExactOracleScheme::build(&g), Stretch6Params::default());
+/// let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
+/// let sharded = ShardedPlane::new(plane, ShardMap::hashed(24, 2, 7));
+/// let engine = Engine::new(EngineConfig::with_workers(2));
+///
+/// let listener = TcpListener::bind("127.0.0.1:0")?;
+/// let addr = listener.local_addr()?;
+/// let shutdown = AtomicBool::new(false);
+/// let outcome = std::thread::scope(|scope| {
+///     let server = scope.spawn(|| {
+///         rtr_serve::serve(
+///             listener,
+///             &engine,
+///             &sharded,
+///             &m,
+///             &VerifyConfig::full(),
+///             &ServeConfig::default(),
+///             &shutdown,
+///         )
+///     });
+///     let mut client = Client::connect(addr).expect("connect");
+///     let route = client.route(0, 5).expect("route");
+///     assert_eq!(route.index, 0); // first query in the served stream
+///     assert!(route.hops > 0);
+///     client.shutdown().expect("clean shutdown");
+///     server.join().expect("server thread panicked")
+/// })?;
+/// assert_eq!(outcome.verified.report.queries, 1);
+/// assert_eq!(outcome.verified.report.checked, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    max_frame_len: u32,
+}
+
+impl Client {
+    /// Connects to a front door.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, max_frame_len: MAX_FRAME_LEN })
+    }
+
+    /// One framed request → one framed response.
+    fn call(&mut self, request: &WireRequest) -> Result<WireResponse, ClientError> {
+        write_frame(&mut self.stream, &encode_request(request))?;
+        let payload = read_frame(&mut self.stream, self.max_frame_len)?
+            .ok_or(ClientError::ConnectionClosed)?;
+        match decode_response(&payload)? {
+            WireResponse::Error { status, message, .. } => {
+                Err(ClientError::Rejected { status, message })
+            }
+            ok => Ok(ok),
+        }
+    }
+
+    /// Serves one route query; the reply carries the session-global stream
+    /// index plus the measured roundtrip.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with [`Status::BadNode`] for out-of-range
+    /// or self-routing ids, [`Status::Overloaded`] when admission control
+    /// rejects, plus the transport-level variants.
+    pub fn route(&mut self, src: u32, dst: u32) -> Result<ServedRoute, ClientError> {
+        match self.call(&WireRequest::Route { src, dst })? {
+            WireResponse::Route(route) => Ok(route),
+            _ => Err(ClientError::Unexpected("route")),
+        }
+    }
+
+    /// Serves a batch of route queries in one frame; replies come back in
+    /// request order.
+    ///
+    /// # Errors
+    ///
+    /// As [`route`](Self::route), plus [`Status::TooLarge`] when the batch
+    /// exceeds the server's per-frame query limit.
+    pub fn batch(&mut self, pairs: &[(u32, u32)]) -> Result<Vec<ServedRoute>, ClientError> {
+        match self.call(&WireRequest::Batch(pairs.to_vec()))? {
+            WireResponse::Batch(routes) => Ok(routes),
+            _ => Err(ClientError::Unexpected("batch")),
+        }
+    }
+
+    /// Fetches serving-plane vitals.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level variants only.
+    pub fn health(&mut self) -> Result<HealthInfo, ClientError> {
+        match self.call(&WireRequest::Health)? {
+            WireResponse::Health(h) => Ok(h),
+            _ => Err(ClientError::Unexpected("health")),
+        }
+    }
+
+    /// Fetches the telemetry registry as `Registry::to_json()`, verbatim —
+    /// the same artifact `check_telemetry` cross-checks.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level variants only.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&WireRequest::Metrics)? {
+            WireResponse::Metrics(json) => Ok(json),
+            _ => Err(ClientError::Unexpected("metrics")),
+        }
+    }
+
+    /// Fetches the session's [`VerifiedReport`] so far (complete with
+    /// respect to every already-served batch).
+    ///
+    /// # Errors
+    ///
+    /// Transport-level variants only.
+    pub fn report(&mut self) -> Result<VerifiedReport, ClientError> {
+        match self.call(&WireRequest::Report)? {
+            WireResponse::Report(report) => Ok(report),
+            _ => Err(ClientError::Unexpected("report")),
+        }
+    }
+
+    /// Asks the server to stop accepting and finish its session.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level variants only.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&WireRequest::Shutdown)? {
+            WireResponse::Shutdown => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown")),
+        }
+    }
+}

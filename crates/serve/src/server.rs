@@ -1,0 +1,560 @@
+//! The server: an accept loop, one thread per connection, and a single
+//! **serving-core** thread that owns the [`VerifiedStream`] session.
+//!
+//! Every route query from every connection funnels through the core, which
+//! greedily coalesces whatever is queued (up to [`ServeConfig::batch_max`]
+//! requests) into one [`VerifiedStream::serve_batch`] call.  The stream
+//! session buckets each batch into the engine's per-shard destination
+//! buckets, so the verification plane's ≈2·distinct(destinations) row
+//! economy survives network arrival order — and the final report is
+//! bit-identical to serving the same stream in one in-process
+//! `serve_verified_sharded` call.
+//!
+//! Admission control is a bounded in-flight budget: a route or batch frame
+//! whose queries would push the budget past
+//! [`ServeConfig::inflight_max`] is rejected with
+//! [`Status::Overloaded`](crate::Status::Overloaded) before it reaches the
+//! core, and the rejection is counted (`serve.net.rejected.overload`).
+
+use crate::protocol::{
+    decode_request, encode_response, write_frame, HealthInfo, ServedRoute, Status, WireError,
+    WireRequest, WireResponse, MAX_FRAME_LEN,
+};
+use rtr_engine::{
+    Engine, Request, ServedTrip, ShardedPlane, VerifiedReport, VerifiedShardedServe, VerifyConfig,
+    VerifyServeError,
+};
+use rtr_graph::NodeId;
+use rtr_metric::DistanceOracle;
+use rtr_sim::RoundtripRouting;
+use rtr_telemetry::{counter, gauge, histogram, DurationHistogram};
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`serve`].  `Default` matches the values the loopback
+/// bench and CI smoke use, documented in `docs/OPERATIONS.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Admission budget: route queries admitted but not yet answered.  A
+    /// frame that would push past this is rejected with `Overloaded`.
+    pub inflight_max: usize,
+    /// Most queries the serving core folds into one engine batch when
+    /// coalescing queued jobs.
+    pub batch_max: usize,
+    /// Most `(src, dst)` pairs a single `BATCH` frame may carry; larger
+    /// frames are rejected with `TooLarge`.
+    pub max_batch_frame: usize,
+    /// Byte ceiling on incoming frame payloads; a longer length prefix gets
+    /// a `TooLarge` response and the connection is closed.
+    pub max_frame_len: u32,
+    /// Socket read timeout — the granularity at which connection threads
+    /// notice the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            inflight_max: 16_384,
+            batch_max: 1024,
+            max_batch_frame: 4096,
+            max_frame_len: MAX_FRAME_LEN,
+            read_timeout: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a [`serve`] call hands back once the listener stops: the finished
+/// verified session plus the connection-plane tallies (mirrors of the
+/// `serve.net.*` telemetry, but scoped to this call so parallel tests don't
+/// see each other's counts).
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The completed session: summary, bit-exact verified report, verify
+    /// cost and per-shard stats — exactly what
+    /// [`Engine::serve_verified_sharded`] returns for the same stream.
+    pub verified: VerifiedShardedServe,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames that arrived (well-formed or not).
+    pub frames: u64,
+    /// Route queries served.
+    pub served: u64,
+    /// Route queries rejected by admission control.
+    pub rejected: u64,
+}
+
+/// Counters and the shutdown flag shared by every thread of one `serve`
+/// call.
+struct Shared<'a> {
+    shutdown: &'a AtomicBool,
+    in_flight: AtomicU64,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    connections: AtomicU64,
+    frames: AtomicU64,
+    nodes: u32,
+    shards: u32,
+    config: ServeConfig,
+}
+
+/// Work for the serving core.
+enum Job {
+    /// Serve `requests` and send the index-ordered trips back.
+    Serve { requests: Vec<Request>, reply: mpsc::Sender<Result<Vec<ServedTrip>, String>> },
+    /// Snapshot the session's report so far.
+    Report { reply: mpsc::Sender<VerifiedReport> },
+}
+
+/// Runs the front door on `listener` until `shutdown` becomes `true`
+/// (either externally or via a `SHUTDOWN` frame), then returns the finished
+/// session.
+///
+/// The passed `verify` config is used with `strict` forced **off** for the
+/// session so a stretch-bound violation can never abort a live server;
+/// violations stay visible in the report, and callers re-check the bound on
+/// the returned [`ServeOutcome::verified`] report if they want hard
+/// enforcement.
+///
+/// See [`crate::Client`] for the matching doctest that drives a full
+/// loopback round trip.
+///
+/// # Errors
+///
+/// Only listener-level I/O errors (`set_nonblocking`, fatal `accept`
+/// failures) surface as `Err`; per-connection errors close that connection
+/// and engine errors are reported to the affected clients as
+/// [`Status::Internal`] responses.
+pub fn serve<S, O>(
+    listener: TcpListener,
+    engine: &Engine,
+    plane: &ShardedPlane<S>,
+    oracle: &O,
+    verify: &VerifyConfig,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<ServeOutcome>
+where
+    S: RoundtripRouting + Send + Sync,
+    O: DistanceOracle + ?Sized,
+{
+    listener.set_nonblocking(true)?;
+    let shared = Shared {
+        shutdown,
+        in_flight: AtomicU64::new(0),
+        served: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        connections: AtomicU64::new(0),
+        frames: AtomicU64::new(0),
+        nodes: plane.map().node_count() as u32,
+        shards: plane.map().shard_count() as u32,
+        config: *config,
+    };
+    let session_config = VerifyConfig { strict: false, ..*verify };
+
+    let verified = std::thread::scope(|scope| -> io::Result<_> {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let core = scope.spawn(|| {
+            let session = engine.open_stream(plane, oracle, &session_config);
+            run_core(session, rx, &shared)
+        });
+
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    counter("serve.net.connections").inc();
+                    let tx = tx.clone();
+                    let shared = &shared;
+                    scope.spawn(move || run_connection(stream, tx, shared));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    shared.shutdown.store(true, Ordering::Relaxed);
+                    drop(tx);
+                    let _ = core.join();
+                    return Err(e);
+                }
+            }
+        }
+        drop(tx);
+        Ok(core.join().expect("serving core panicked"))
+    })?;
+
+    let verified = verified.map_err(|e| io::Error::other(e.to_string()))?;
+    Ok(ServeOutcome {
+        verified,
+        connections: shared.connections.load(Ordering::Relaxed),
+        frames: shared.frames.load(Ordering::Relaxed),
+        served: shared.served.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+    })
+}
+
+/// The serving core: drain jobs, greedily coalescing queued `Serve` jobs up
+/// to `batch_max` queries per engine call, then split the index-ordered
+/// trips back out to each requester by offset.
+fn run_core<S, O>(
+    mut session: rtr_engine::VerifiedStream<'_, S, O>,
+    rx: mpsc::Receiver<Job>,
+    shared: &Shared<'_>,
+) -> Result<VerifiedShardedServe, VerifyServeError>
+where
+    S: RoundtripRouting + Send + Sync,
+    O: DistanceOracle + ?Sized,
+{
+    let batches = counter("serve.engine.batches");
+    let batch_ns = histogram("serve.engine.batch_ns");
+    let batch_fill = gauge("serve.engine.batch_fill");
+    let mut stashed: Option<Job> = None;
+    loop {
+        let job = match stashed.take() {
+            Some(job) => job,
+            None => match rx.recv() {
+                Ok(job) => job,
+                Err(_) => break, // every sender gone: the listener stopped
+            },
+        };
+        let (requests, reply) = match job {
+            Job::Report { reply } => {
+                let _ = reply.send(session.report().clone());
+                continue;
+            }
+            Job::Serve { requests, reply } => (requests, reply),
+        };
+        let mut batch = requests;
+        let mut replies = vec![(reply, batch.len())];
+        // Coalesce whatever else is already queued, up to batch_max.
+        while batch.len() < shared.config.batch_max {
+            match rx.try_recv() {
+                Ok(Job::Serve { requests, reply }) => {
+                    replies.push((reply, requests.len()));
+                    batch.extend_from_slice(&requests);
+                }
+                Ok(other) => {
+                    stashed = Some(other);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        let start = Instant::now();
+        let outcome = session.serve_batch(&batch);
+        batches.inc();
+        batch_ns.observe(start.elapsed());
+        batch_fill.set_max(batch.len() as u64);
+        shared.in_flight.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        match outcome {
+            Ok(trips) => {
+                shared.served.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                // serve_batch returns trips sorted by global index, and the
+                // session assigns indices in admission order — so the first
+                // `len` trips belong to the first job, and so on.
+                let mut at = 0;
+                for (reply, len) in replies {
+                    let _ = reply.send(Ok(trips[at..at + len].to_vec()));
+                    at += len;
+                }
+            }
+            Err(e) => {
+                let message = e.to_string();
+                for (reply, _) in replies {
+                    let _ = reply.send(Err(message.clone()));
+                }
+            }
+        }
+    }
+    session.finish()
+}
+
+/// Per-endpoint latency histograms, resolved once per connection.
+struct Timers {
+    route: DurationHistogram,
+    batch: DurationHistogram,
+    health: DurationHistogram,
+    metrics: DurationHistogram,
+    report: DurationHistogram,
+}
+
+impl Timers {
+    fn new() -> Self {
+        Timers {
+            route: histogram("serve.net.route_ns"),
+            batch: histogram("serve.net.batch_ns"),
+            health: histogram("serve.net.health_ns"),
+            metrics: histogram("serve.net.metrics_ns"),
+            report: histogram("serve.net.report_ns"),
+        }
+    }
+}
+
+/// Reads frames off one connection until the peer closes, the shutdown flag
+/// flips, or a protocol-level close (oversize frame) happens.
+fn run_connection(mut stream: TcpStream, tx: mpsc::Sender<Job>, shared: &Shared<'_>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let timers = Timers::new();
+    let frames = counter("serve.net.frames");
+    let requests_admitted = counter("serve.net.requests");
+    let rejected_overload = counter("serve.net.rejected.overload");
+    let rejected_malformed = counter("serve.net.rejected.malformed");
+    let in_flight_gauge = gauge("serve.net.in_flight");
+
+    let mut prefix = [0u8; 4];
+    loop {
+        match read_full(&mut stream, &mut prefix, shared.shutdown) {
+            ReadOutcome::Data => {}
+            ReadOutcome::Closed | ReadOutcome::Stop => return,
+        }
+        let len = u32::from_be_bytes(prefix);
+        shared.frames.fetch_add(1, Ordering::Relaxed);
+        frames.inc();
+        if len > shared.config.max_frame_len {
+            // The payload was never read, so the stream is out of sync:
+            // answer and close.
+            let resp = WireResponse::Error {
+                opcode: 0,
+                status: Status::TooLarge,
+                message: format!(
+                    "frame length {len} exceeds the {}-byte limit",
+                    shared.config.max_frame_len
+                ),
+            };
+            let _ = write_frame(&mut stream, &encode_response(&resp));
+            return;
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(&mut stream, &mut payload, shared.shutdown) {
+            ReadOutcome::Data => {}
+            ReadOutcome::Closed | ReadOutcome::Stop => return,
+        }
+
+        let started = Instant::now();
+        let opcode_byte = payload.get(1).copied().unwrap_or(0);
+        let (response, stop) = match decode_request(&payload) {
+            Err(err) => {
+                rejected_malformed.inc();
+                (error_response(opcode_byte, err), false)
+            }
+            Ok(request) => {
+                let admitted = admit(&request, shared, &requests_admitted, &in_flight_gauge);
+                match admitted {
+                    Err(err) => {
+                        if err.status == Status::Overloaded {
+                            let k = query_count(&request) as u64;
+                            shared.rejected.fetch_add(k, Ordering::Relaxed);
+                            rejected_overload.add(k);
+                        } else {
+                            rejected_malformed.inc();
+                        }
+                        (error_response(opcode_byte, err), false)
+                    }
+                    Ok(()) => answer(request, &tx, shared),
+                }
+            }
+        };
+        let wrote = write_frame(&mut stream, &encode_response(&response));
+        match &response {
+            WireResponse::Route(_) => timers.route.observe(started.elapsed()),
+            WireResponse::Batch(_) => timers.batch.observe(started.elapsed()),
+            WireResponse::Health(_) => timers.health.observe(started.elapsed()),
+            WireResponse::Metrics(_) => timers.metrics.observe(started.elapsed()),
+            WireResponse::Report(_) => timers.report.observe(started.elapsed()),
+            WireResponse::Shutdown | WireResponse::Error { .. } => {}
+        }
+        if stop || wrote.is_err() {
+            return;
+        }
+    }
+}
+
+/// How many route queries a request carries (0 for control frames).
+fn query_count(request: &WireRequest) -> usize {
+    match request {
+        WireRequest::Route { .. } => 1,
+        WireRequest::Batch(pairs) => pairs.len(),
+        _ => 0,
+    }
+}
+
+/// Validates node ids and charges the in-flight budget.  On `Ok(())` the
+/// budget holds `query_count` slots that [`run_core`] releases after the
+/// engine call.
+fn admit(
+    request: &WireRequest,
+    shared: &Shared<'_>,
+    requests_admitted: &rtr_telemetry::Counter,
+    in_flight_gauge: &rtr_telemetry::Gauge,
+) -> Result<(), WireError> {
+    let pairs: &[(u32, u32)] = match request {
+        WireRequest::Route { src, dst } => &[(*src, *dst)][..],
+        WireRequest::Batch(pairs) => {
+            if pairs.len() > shared.config.max_batch_frame {
+                return Err(WireError {
+                    status: Status::TooLarge,
+                    message: format!(
+                        "batch of {} exceeds the {}-query frame limit",
+                        pairs.len(),
+                        shared.config.max_batch_frame
+                    ),
+                });
+            }
+            pairs
+        }
+        _ => return Ok(()),
+    };
+    for &(src, dst) in pairs {
+        if src >= shared.nodes || dst >= shared.nodes {
+            return Err(WireError {
+                status: Status::BadNode,
+                message: format!("node out of range: ({src}, {dst}) with {} nodes", shared.nodes),
+            });
+        }
+        if src == dst {
+            return Err(WireError {
+                status: Status::BadNode,
+                message: format!("self-route {src} -> {dst}: roundtrips need src != dst"),
+            });
+        }
+    }
+    let k = pairs.len() as u64;
+    let prev = shared.in_flight.fetch_add(k, Ordering::Relaxed);
+    if prev + k > shared.config.inflight_max as u64 {
+        shared.in_flight.fetch_sub(k, Ordering::Relaxed);
+        return Err(WireError {
+            status: Status::Overloaded,
+            message: format!(
+                "in-flight budget {} exhausted ({} queued)",
+                shared.config.inflight_max, prev
+            ),
+        });
+    }
+    requests_admitted.add(k);
+    in_flight_gauge.set_max(prev + k);
+    Ok(())
+}
+
+/// Serves one admitted request, returning the response and whether the
+/// connection should close afterwards.
+fn answer(
+    request: WireRequest,
+    tx: &mpsc::Sender<Job>,
+    shared: &Shared<'_>,
+) -> (WireResponse, bool) {
+    match request {
+        WireRequest::Route { src, dst } => {
+            let requests = vec![Request { src: NodeId(src), dst: NodeId(dst) }];
+            match serve_on_core(requests, tx) {
+                Ok(trips) => (WireResponse::Route(to_route(&trips[0])), false),
+                Err(message) => (internal(&message), false),
+            }
+        }
+        WireRequest::Batch(pairs) => {
+            if pairs.is_empty() {
+                return (WireResponse::Batch(Vec::new()), false);
+            }
+            let requests = pairs
+                .iter()
+                .map(|&(src, dst)| Request { src: NodeId(src), dst: NodeId(dst) })
+                .collect();
+            match serve_on_core(requests, tx) {
+                Ok(trips) => (WireResponse::Batch(trips.iter().map(to_route).collect()), false),
+                Err(message) => (internal(&message), false),
+            }
+        }
+        WireRequest::Health => {
+            let health = HealthInfo {
+                nodes: shared.nodes,
+                shards: shared.shards,
+                in_flight: shared.in_flight.load(Ordering::Relaxed),
+                served: shared.served.load(Ordering::Relaxed),
+                rejected: shared.rejected.load(Ordering::Relaxed),
+            };
+            (WireResponse::Health(health), false)
+        }
+        WireRequest::Metrics => (WireResponse::Metrics(rtr_telemetry::registry().to_json()), false),
+        WireRequest::Report => {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            if tx.send(Job::Report { reply: reply_tx }).is_err() {
+                return (internal("serving core stopped"), false);
+            }
+            match reply_rx.recv() {
+                Ok(report) => (WireResponse::Report(report), false),
+                Err(_) => (internal("serving core stopped"), false),
+            }
+        }
+        WireRequest::Shutdown => {
+            shared.shutdown.store(true, Ordering::Relaxed);
+            (WireResponse::Shutdown, true)
+        }
+    }
+}
+
+/// Round-trips one admitted request batch through the serving core.  The
+/// error is the `INTERNAL` diagnostic message (callers wrap it with
+/// [`internal`]), kept as a bare `String` so the `Err` variant stays small.
+fn serve_on_core(
+    requests: Vec<Request>,
+    tx: &mpsc::Sender<Job>,
+) -> Result<Vec<ServedTrip>, String> {
+    let (reply_tx, reply_rx) = mpsc::channel();
+    if tx.send(Job::Serve { requests, reply: reply_tx }).is_err() {
+        return Err("serving core stopped".to_string());
+    }
+    match reply_rx.recv() {
+        Ok(Ok(trips)) => Ok(trips),
+        Ok(Err(message)) => Err(message),
+        Err(_) => Err("serving core stopped".to_string()),
+    }
+}
+
+fn to_route(trip: &ServedTrip) -> ServedRoute {
+    ServedRoute { index: trip.index as u64, hops: trip.hops as u32, weight: trip.weight }
+}
+
+fn internal(message: &str) -> WireResponse {
+    WireResponse::Error { opcode: 0, status: Status::Internal, message: message.to_string() }
+}
+
+fn error_response(opcode: u8, err: WireError) -> WireResponse {
+    WireResponse::Error { opcode, status: err.status, message: err.message }
+}
+
+enum ReadOutcome {
+    /// `buf` is full.
+    Data,
+    /// The peer closed cleanly before the first byte of `buf`.
+    Closed,
+    /// The shutdown flag flipped while waiting.
+    Stop,
+}
+
+/// Fills `buf`, treating read timeouts as moments to re-check `shutdown`.
+/// A clean close *between* frames is `Closed`; a close mid-buffer is also
+/// treated as `Closed` (the peer is gone either way — there is nobody left
+/// to answer).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> ReadOutcome {
+    let mut at = 0;
+    while at < buf.len() {
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(k) => at += k,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return ReadOutcome::Stop;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Data
+}

@@ -1,0 +1,297 @@
+//! Loopback integration tests: a real `TcpListener`, real client threads,
+//! and the acceptance property that matters — the network session's
+//! [`VerifiedReport`] is **bit-identical** to one in-process
+//! `serve_verified_sharded` call over the same request stream, regardless
+//! of network arrival order.
+
+use rtr_core::naming::NamingAssignment;
+use rtr_core::{Stretch6Params, StretchSix};
+use rtr_engine::{
+    Engine, EngineConfig, FrozenPlane, Request, ShardMap, ShardedPlane, VerifyConfig,
+};
+use rtr_graph::generators::strongly_connected_gnp;
+use rtr_graph::NodeId;
+use rtr_metric::DistanceMatrix;
+use rtr_namedep::ExactOracleScheme;
+use rtr_serve::protocol::{
+    decode_response, encode_request, read_frame, write_frame, WireRequest, WireResponse,
+    MAX_FRAME_LEN, VERSION,
+};
+use rtr_serve::{Client, ClientError, ServeConfig, ServeOutcome, Status};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+
+const N: u32 = 32;
+
+struct Fixture {
+    matrix: DistanceMatrix,
+    sharded: ShardedPlane<StretchSix<ExactOracleScheme>>,
+}
+
+fn fixture(seed: u64, shards: usize) -> Fixture {
+    let g = Arc::new(strongly_connected_gnp(N as usize, 0.15, seed).expect("generator"));
+    let matrix = DistanceMatrix::build(&g);
+    let names = NamingAssignment::random(g.node_count(), seed ^ 0x9a7e);
+    let scheme = StretchSix::build(
+        &g,
+        &matrix,
+        &names,
+        ExactOracleScheme::build(&g),
+        Stretch6Params::default(),
+    );
+    let plane = FrozenPlane::freeze(Arc::clone(&g), scheme, Arc::new(names.to_names()));
+    let sharded = ShardedPlane::new(plane, ShardMap::hashed(N as usize, shards, 9));
+    Fixture { matrix, sharded }
+}
+
+/// Runs `client_work` against a live server and returns its outcome.
+fn with_server<T: Send>(
+    fx: &Fixture,
+    config: ServeConfig,
+    client_work: impl FnOnce(SocketAddr) -> T + Send,
+) -> (ServeOutcome, T) {
+    let engine = Engine::new(EngineConfig::with_workers(3));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            rtr_serve::serve(
+                listener,
+                &engine,
+                &fx.sharded,
+                &fx.matrix,
+                &VerifyConfig::full(),
+                &config,
+                &shutdown,
+            )
+        });
+        let result = client_work(addr);
+        // client_work is expected to have sent SHUTDOWN; join the server.
+        let outcome = server.join().expect("server panicked").expect("serve failed");
+        (outcome, result)
+    })
+}
+
+/// Deterministic (src, dst) pair with src != dst.
+fn pair(seed: u64) -> (u32, u32) {
+    let mut z = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    z ^= z >> 29;
+    let src = (z as u32) % N;
+    let dst = (src + 1 + ((z >> 32) as u32) % (N - 1)) % N;
+    (src, dst)
+}
+
+#[test]
+fn network_report_is_bit_identical_to_in_process() {
+    let fx = fixture(5, 4);
+    let total: usize = 600;
+    let clients = 4;
+    let per_client = total / clients;
+
+    let served: Arc<Mutex<Vec<(u64, u32, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let (outcome, wire_report) = with_server(&fx, ServeConfig::default(), |addr| {
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let served = Arc::clone(&served);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut sent = 0usize;
+                    let mut k = 0u64;
+                    while sent < per_client {
+                        if c % 2 == 0 {
+                            // Batch client: frames of up to 16 queries.
+                            let want = 16.min(per_client - sent);
+                            let pairs: Vec<(u32, u32)> = (0..want)
+                                .map(|i| pair(((c as u64) << 32) | (k + i as u64)))
+                                .collect();
+                            k += want as u64;
+                            let routes = client.batch(&pairs).expect("batch");
+                            assert_eq!(routes.len(), pairs.len());
+                            let mut log = served.lock().unwrap();
+                            for (route, &(src, dst)) in routes.iter().zip(&pairs) {
+                                log.push((route.index, src, dst));
+                            }
+                            sent += want;
+                        } else {
+                            // Single-route client.
+                            let (src, dst) = pair((c as u64) << 32 | k);
+                            k += 1;
+                            let route = client.route(src, dst).expect("route");
+                            served.lock().unwrap().push((route.index, src, dst));
+                            sent += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let mut control = Client::connect(addr).expect("connect control");
+        let report = control.report().expect("report");
+        control.shutdown().expect("shutdown");
+        report
+    });
+
+    // Reconstruct the exact served stream from the returned indices.
+    let log = served.lock().unwrap();
+    assert_eq!(log.len(), total);
+    let mut stream = vec![None; total];
+    for &(index, src, dst) in log.iter() {
+        let slot = stream.get_mut(index as usize).expect("index in range");
+        assert!(slot.is_none(), "index {index} served twice");
+        *slot = Some(Request { src: NodeId(src), dst: NodeId(dst) });
+    }
+    let stream: Vec<Request> = stream.into_iter().map(|r| r.expect("gap in stream")).collect();
+
+    // The same stream served in one in-process call must match bit for bit.
+    let engine = Engine::new(EngineConfig::with_workers(3));
+    let in_process = engine
+        .serve_verified_sharded(&fx.sharded, &stream, &fx.matrix, &VerifyConfig::full())
+        .expect("in-process serve");
+    assert_eq!(outcome.verified.report, in_process.report);
+    assert_eq!(wire_report, in_process.report);
+    assert_eq!(outcome.verified.report.checked, total);
+    assert_eq!(outcome.served, total as u64);
+    assert_eq!(outcome.rejected, 0);
+    // Per-shard query counts are a pure function of destinations, so they
+    // match too.
+    for (net, local) in outcome.verified.shards.iter().zip(&in_process.shards) {
+        assert_eq!(net.queries, local.queries);
+    }
+}
+
+#[test]
+fn admission_control_rejects_deterministically() {
+    let fx = fixture(6, 2);
+    let config = ServeConfig { inflight_max: 4, ..ServeConfig::default() };
+    let (outcome, ()) = with_server(&fx, config, |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let too_many: Vec<(u32, u32)> = (0..8u64).map(pair).collect();
+        match client.batch(&too_many) {
+            Err(ClientError::Rejected { status: Status::Overloaded, message }) => {
+                assert!(message.contains("in-flight budget 4"), "{message}");
+            }
+            other => panic!("expected overload rejection, got {other:?}"),
+        }
+        // Within budget: served fine (the client blocks per frame, so the
+        // budget is fully free again).
+        let ok: Vec<(u32, u32)> = (0..4u64).map(pair).collect();
+        assert_eq!(client.batch(&ok).expect("batch within budget").len(), 4);
+        client.shutdown().expect("shutdown");
+    });
+    assert_eq!(outcome.rejected, 8);
+    assert_eq!(outcome.served, 4);
+    assert_eq!(outcome.verified.report.queries, 4);
+}
+
+#[test]
+fn bad_nodes_are_rejected_before_the_engine() {
+    let fx = fixture(7, 2);
+    let (outcome, ()) = with_server(&fx, ServeConfig::default(), |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        for (src, dst) in [(3, 3), (N, 0), (0, u32::MAX)] {
+            match client.route(src, dst) {
+                Err(ClientError::Rejected { status: Status::BadNode, .. }) => {}
+                other => panic!("({src},{dst}): expected BadNode, got {other:?}"),
+            }
+        }
+        // One bad pair poisons a whole batch (it is all-or-nothing).
+        match client.batch(&[(0, 1), (5, 5)]) {
+            Err(ClientError::Rejected { status: Status::BadNode, .. }) => {}
+            other => panic!("expected BadNode for batch, got {other:?}"),
+        }
+        client.shutdown().expect("shutdown");
+    });
+    assert_eq!(outcome.served, 0);
+    assert_eq!(outcome.verified.report.queries, 0);
+}
+
+#[test]
+fn malformed_frames_get_precise_statuses() {
+    let fx = fixture(8, 2);
+    let (outcome, ()) = with_server(&fx, ServeConfig::default(), |addr| {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        let mut ask = |payload: &[u8]| -> WireResponse {
+            write_frame(&mut raw, payload).expect("write");
+            let frame = read_frame(&mut raw, MAX_FRAME_LEN).expect("read").expect("open");
+            decode_response(&frame).expect("decode")
+        };
+        let status_of = |resp: WireResponse| match resp {
+            WireResponse::Error { status, .. } => status,
+            other => panic!("expected error response, got {other:?}"),
+        };
+
+        assert_eq!(status_of(ask(&[])), Status::Malformed);
+        assert_eq!(status_of(ask(&[VERSION + 9, 0x01])), Status::UnsupportedVersion);
+        assert_eq!(status_of(ask(&[VERSION, 0x7f])), Status::UnknownOpcode);
+        // ROUTE with a truncated body.
+        assert_eq!(status_of(ask(&[VERSION, 0x01, 0, 0])), Status::Malformed);
+        // Opcode byte is echoed back for error correlation.
+        match ask(&[VERSION, 0x7f]) {
+            WireResponse::Error { opcode, .. } => assert_eq!(opcode, 0x7f),
+            other => panic!("expected error, got {other:?}"),
+        }
+        // The connection stays usable after rejected frames.
+        let ok = ask(&encode_request(&WireRequest::Health));
+        assert!(matches!(ok, WireResponse::Health(_)));
+
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown().expect("shutdown");
+    });
+    assert_eq!(outcome.served, 0);
+    assert!(outcome.frames >= 6);
+}
+
+#[test]
+fn health_and_metrics_expose_the_serving_plane() {
+    let fx = fixture(9, 3);
+    let (outcome, ()) = with_server(&fx, ServeConfig::default(), |addr| {
+        let mut client = Client::connect(addr).expect("connect");
+        let (src, dst) = pair(77);
+        client.route(src, dst).expect("route");
+
+        let health = client.health().expect("health");
+        assert_eq!(health.nodes, N);
+        assert_eq!(health.shards, 3);
+        assert_eq!(health.served, 1);
+        assert_eq!(health.in_flight, 0);
+        assert_eq!(health.rejected, 0);
+
+        let json = client.metrics().expect("metrics");
+        // The wire string is Registry::to_json() verbatim — spot-check the
+        // serve vocabulary and the exact formatting shape.
+        assert!(json.starts_with("{\n"), "metrics is the registry JSON");
+        assert!(json.ends_with("}\n"));
+        for name in [
+            "serve.net.connections",
+            "serve.net.requests",
+            "serve.net.route_ns",
+            "serve.engine.batches",
+        ] {
+            assert!(json.contains(name), "metrics JSON misses {name}");
+        }
+        client.shutdown().expect("shutdown");
+    });
+    assert_eq!(outcome.served, 1);
+}
+
+#[test]
+fn oversized_frames_close_the_connection_with_too_large() {
+    let fx = fixture(10, 2);
+    let config = ServeConfig { max_frame_len: 64, ..ServeConfig::default() };
+    let (_outcome, ()) = with_server(&fx, config, |addr| {
+        let mut raw = TcpStream::connect(addr).expect("connect raw");
+        // A length prefix far past the limit; the payload is never sent.
+        std::io::Write::write_all(&mut raw, &1_000_000u32.to_be_bytes()).expect("prefix");
+        let frame = read_frame(&mut raw, MAX_FRAME_LEN).expect("read").expect("reply");
+        match decode_response(&frame).expect("decode") {
+            WireResponse::Error { status, .. } => assert_eq!(status, Status::TooLarge),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Server closed its side after the oversize frame.
+        assert!(read_frame(&mut raw, MAX_FRAME_LEN).expect("eof read").is_none());
+
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown().expect("shutdown");
+    });
+}

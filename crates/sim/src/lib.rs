@@ -18,6 +18,10 @@
 //! scheme global information at forwarding time — schemes receive only the
 //! current node id (which stands for "the node whose table is being
 //! consulted") and the header.
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is the runtime the serving engine (`rtr-engine`)
+//! drives on every query.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

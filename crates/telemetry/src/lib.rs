@@ -41,7 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod export;
@@ -49,7 +49,7 @@ mod metrics;
 mod registry;
 mod span;
 
-pub use metrics::{Counter, DurationHistogram, Gauge, HISTOGRAM_BUCKETS};
+pub use metrics::{bucket_floor_ns, Counter, DurationHistogram, Gauge, HISTOGRAM_BUCKETS};
 pub use registry::{registry, Registry, SpanStats, TraceEvent};
 pub use span::Span;
 

@@ -178,8 +178,10 @@ fn bucket_of(ns: u64) -> usize {
     }
 }
 
-/// The inclusive lower bound (in ns) of bucket `i` — for labelling exports.
-pub(crate) fn bucket_floor_ns(i: usize) -> u64 {
+/// The inclusive lower bound (in ns) of bucket `i` of a
+/// [`DurationHistogram`]: bucket 0 covers `[0, 1]` ns, bucket `i > 0` covers
+/// `[2^(i-1), 2^i)` ns.  Used to label exports and to read percentiles.
+pub fn bucket_floor_ns(i: usize) -> u64 {
     if i == 0 {
         0
     } else {
@@ -225,6 +227,38 @@ impl DurationHistogram {
     pub fn max_ns(&self) -> u64 {
         self.inner.max_ns.load(Ordering::Relaxed)
     }
+
+    /// A snapshot of the raw bucket counts: slot `i` counts observations in
+    /// `[bucket_floor_ns(i), bucket_floor_ns(i+1))` ns (see
+    /// [`bucket_floor_ns`]).
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        self.inner.bucket_counts()
+    }
+
+    /// The `p`-quantile (`0 ≤ p ≤ 1`) of the recorded durations, reported as
+    /// the inclusive lower edge of its log₂-ns bucket — so the value is a
+    /// floor accurate to a factor of 2, which is what an SLO readout over
+    /// power-of-two buckets can honestly claim.  Returns 0 when nothing was
+    /// recorded.
+    ///
+    /// The walk snapshots the buckets once; concurrent observations land in
+    /// the next call.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let buckets = self.inner.bucket_counts();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_floor_ns(i);
+            }
+        }
+        bucket_floor_ns(HISTOGRAM_BUCKETS - 1)
+    }
 }
 
 #[cfg(test)]
@@ -257,5 +291,22 @@ mod tests {
         assert_eq!(h.max_ns(), 300);
         let buckets = h.inner.bucket_counts();
         assert_eq!(buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn percentiles_report_bucket_floors() {
+        let _guard = crate::test_lock();
+        let h = DurationHistogram::new(Arc::new(HistogramInner::default()));
+        assert_eq!(h.percentile_ns(0.5), 0);
+        for _ in 0..98 {
+            h.observe(Duration::from_nanos(100)); // bucket [64, 128)
+        }
+        h.observe(Duration::from_nanos(5_000)); // bucket [4096, 8192)
+        h.observe(Duration::from_micros(200)); // bucket [131072, 262144)
+        assert_eq!(h.percentile_ns(0.0), 64);
+        assert_eq!(h.percentile_ns(0.5), 64);
+        assert_eq!(h.percentile_ns(0.99), 4096);
+        assert_eq!(h.percentile_ns(1.0), 131_072);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 100);
     }
 }

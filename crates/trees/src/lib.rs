@@ -20,6 +20,10 @@
 //! the `OutTree` (root to destination) give the "route within a double-tree
 //! through its center" primitive that §4's `PolynomialStretch` and the
 //! name-dependent substrates rely on.
+//!
+//! In the end-to-end pipeline (see the architecture diagram in the top-level
+//! `README.md`) this crate is a mid-pipeline substrate: its trees carry the
+//! covers, dictionaries and schemes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
