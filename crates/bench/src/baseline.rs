@@ -1,10 +1,18 @@
-//! The `BENCH_serve.json` performance-baseline artifact.
+//! The `BENCH_serve.json` and `BENCH_chaos.json` baseline artifacts.
 //!
-//! `serve_throughput` writes one of these per run; CI regenerates it at the
-//! n = 600 smoke configuration and diffs it against the checked-in seed
-//! baseline (`ci/BENCH_serve.json`) with [`compare`].  Table bytes, stretch
-//! and oracle-row counts are deterministic given the seeds, so regressions
-//! there **hard-fail**; queries/sec depends on the host and only warns.
+//! `serve_throughput` writes a [`ServeBaseline`] per run; CI regenerates it
+//! at the n = 600 smoke configuration and diffs it against the checked-in
+//! seed baseline (`ci/BENCH_serve.json`) with [`compare`].  Table bytes,
+//! stretch and oracle-row counts are deterministic given the seeds, so
+//! regressions there **hard-fail**; queries/sec depends on the host and only
+//! warns.
+//!
+//! `chaos_sweep` writes a [`ChaosBaseline`] — the fourth CI-gated artifact:
+//! per failure fraction, the degraded epoch's delivery/violation record and
+//! the repair economy (rows an incremental repair recomputed vs. a
+//! from-scratch rebuild).  [`compare_chaos`] diffs it against
+//! `ci/BENCH_chaos.json`; the artifacts carry `"kind": "chaos"` so the
+//! checker binaries can dispatch on file shape.
 //!
 //! Serialization is hand-rolled (the build environment vendors no serde),
 //! mirroring `rtr_graph::io`.
@@ -420,6 +428,329 @@ pub fn compare(baseline: &ServeBaseline, current: &ServeBaseline) -> (Vec<String
             failures.push(format!(
                 "scheme {} is not in the baseline — regenerate ci/BENCH_serve.json to gate it",
                 got.scheme
+            ));
+        }
+    }
+    (failures, warnings)
+}
+
+/// Hard ceiling on the chaos repair economy: an incremental repair may
+/// recompute at most this fraction of the oracle rows a from-scratch rebuild
+/// pays.  Enforced in-binary by `chaos_sweep` and again by
+/// [`compare_chaos`] on the current artifact, so CI fails even when a stale
+/// baseline would have allowed the regression.
+pub const REPAIR_ROW_BUDGET: f64 = 0.25;
+
+/// One failure fraction of a `chaos_sweep` run: the fault selection, the
+/// repair economy, and the three verified epochs (pre-fault / degraded /
+/// post-repair) of the §3 serving plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosFraction {
+    /// Requested edge-failure fraction (share of all edges).
+    pub fraction: f64,
+    /// Faults the fraction asked for (`round(fraction · edge_count)`).
+    pub faults_requested: usize,
+    /// Faults actually applied after the dirty-row impact budget.
+    pub faults_applied: usize,
+    /// Applied faults that removed an edge.
+    pub removals: usize,
+    /// Applied faults that inflated an edge weight.
+    pub inflations: usize,
+    /// Nodes with at least one invalidated metric row.
+    pub dirty_nodes: usize,
+    /// Oracle rows the incremental repair recomputed.
+    pub repair_rows: u64,
+    /// Oracle rows a from-scratch rebuild of the same substrate computed.
+    pub full_rebuild_rows: u64,
+    /// Cover cluster trees the repair re-anchored.
+    pub clusters_reanchored: usize,
+    /// Landmark balls the repair recomputed.
+    pub balls_repaired: usize,
+    /// Wall-clock of the repair, in nanoseconds (host-dependent; warn-only).
+    pub repair_epoch_ns: u64,
+    /// Worst verified stretch of the pre-fault epoch.
+    pub pre_worst_stretch: f64,
+    /// Requests the degraded epoch delivered.
+    pub degraded_delivered: u64,
+    /// Requests the degraded epoch failed to deliver (routes crossing a
+    /// removed link).
+    pub degraded_failed: u64,
+    /// Delivered degraded requests that exceeded the proven ceiling.
+    pub degraded_violations: u64,
+    /// Worst verified stretch of the degraded epoch's delivered requests.
+    pub degraded_worst_stretch: f64,
+    /// `degraded_delivered / queries` — the fault window's success rate.
+    pub degraded_success_rate: f64,
+    /// Degraded-window offender pairs the repair restored under the ceiling.
+    pub restored_pairs: u64,
+    /// Worst verified stretch of the post-repair epoch.
+    pub post_worst_stretch: f64,
+    /// Post-repair requests above the proven ceiling (must be 0).
+    pub post_violations: u64,
+    /// Post-repair delivery failures (must be 0).
+    pub post_failed: u64,
+}
+
+/// The `BENCH_chaos.json` artifact: one `chaos_sweep` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosBaseline {
+    /// Node count of the run.
+    pub n: usize,
+    /// Requests served per epoch (three epochs per fraction).
+    pub queries_per_epoch: usize,
+    /// RNG seed of the run (graph, naming, fault selection, workloads).
+    pub seed: u64,
+    /// Worker threads of the run — provenance only; the chaos conformance
+    /// tests prove every gated number is worker-independent.
+    pub workers: usize,
+    /// Destination shard count of the run.
+    pub shards: usize,
+    /// Shard policy (`hash` / `range`).
+    pub shard_policy: String,
+    /// Chord edges of the `ring_with_chords` graph (the fault candidates —
+    /// the ring itself is never faulted, keeping the graph strongly
+    /// connected).
+    pub chords: usize,
+    /// Total edge count (ring + chords), the fraction denominator.
+    pub edge_count: usize,
+    /// Absolute cap on invalidated rows per fraction (the impact budget the
+    /// greedy fault selection enforces).
+    pub dirty_row_budget: usize,
+    /// The §3 proven stretch ceiling every epoch is verified against.
+    pub bound: u64,
+    /// Per-fraction records, in sweep order.
+    pub fractions: Vec<ChaosFraction>,
+}
+
+impl ChaosBaseline {
+    /// Renders the artifact as pretty-printed JSON, `"kind": "chaos"` first
+    /// so the checker binaries can dispatch on file shape.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"kind\": \"chaos\",\n");
+        let _ = writeln!(out, "  \"n\": {},", self.n);
+        let _ = writeln!(out, "  \"queries_per_epoch\": {},", self.queries_per_epoch);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"shards\": {},", self.shards);
+        let _ = writeln!(out, "  \"shard_policy\": \"{}\",", self.shard_policy);
+        let _ = writeln!(out, "  \"chords\": {},", self.chords);
+        let _ = writeln!(out, "  \"edge_count\": {},", self.edge_count);
+        let _ = writeln!(out, "  \"dirty_row_budget\": {},", self.dirty_row_budget);
+        let _ = writeln!(out, "  \"bound\": {},", self.bound);
+        out.push_str("  \"fractions\": [\n");
+        for (i, f) in self.fractions.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"fraction\": {:.6},", f.fraction);
+            let _ = writeln!(out, "      \"faults_requested\": {},", f.faults_requested);
+            let _ = writeln!(out, "      \"faults_applied\": {},", f.faults_applied);
+            let _ = writeln!(out, "      \"removals\": {},", f.removals);
+            let _ = writeln!(out, "      \"inflations\": {},", f.inflations);
+            let _ = writeln!(out, "      \"dirty_nodes\": {},", f.dirty_nodes);
+            let _ = writeln!(out, "      \"repair_rows\": {},", f.repair_rows);
+            let _ = writeln!(out, "      \"full_rebuild_rows\": {},", f.full_rebuild_rows);
+            let _ = writeln!(out, "      \"clusters_reanchored\": {},", f.clusters_reanchored);
+            let _ = writeln!(out, "      \"balls_repaired\": {},", f.balls_repaired);
+            let _ = writeln!(out, "      \"repair_epoch_ns\": {},", f.repair_epoch_ns);
+            let _ = writeln!(out, "      \"pre_worst_stretch\": {:.6},", f.pre_worst_stretch);
+            let _ = writeln!(out, "      \"degraded_delivered\": {},", f.degraded_delivered);
+            let _ = writeln!(out, "      \"degraded_failed\": {},", f.degraded_failed);
+            let _ = writeln!(out, "      \"degraded_violations\": {},", f.degraded_violations);
+            let _ =
+                writeln!(out, "      \"degraded_worst_stretch\": {:.6},", f.degraded_worst_stretch);
+            let _ =
+                writeln!(out, "      \"degraded_success_rate\": {:.6},", f.degraded_success_rate);
+            let _ = writeln!(out, "      \"restored_pairs\": {},", f.restored_pairs);
+            let _ = writeln!(out, "      \"post_worst_stretch\": {:.6},", f.post_worst_stretch);
+            let _ = writeln!(out, "      \"post_violations\": {},", f.post_violations);
+            let _ = writeln!(out, "      \"post_failed\": {}", f.post_failed);
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.fractions.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses an artifact previously written by [`to_json`](Self::to_json).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem, including
+    /// a missing or non-`chaos` `kind` discriminator.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let value = JsonValue::parse(text)?;
+        let kind = value.field("kind")?.as_string()?;
+        if kind != "chaos" {
+            return Err(format!("expected \"kind\": \"chaos\", found \"{kind}\""));
+        }
+        let fractions = value
+            .field("fractions")?
+            .as_array()?
+            .iter()
+            .map(|f| {
+                Ok(ChaosFraction {
+                    fraction: f.field("fraction")?.as_f64()?,
+                    faults_requested: f.field("faults_requested")?.as_u64()? as usize,
+                    faults_applied: f.field("faults_applied")?.as_u64()? as usize,
+                    removals: f.field("removals")?.as_u64()? as usize,
+                    inflations: f.field("inflations")?.as_u64()? as usize,
+                    dirty_nodes: f.field("dirty_nodes")?.as_u64()? as usize,
+                    repair_rows: f.field("repair_rows")?.as_u64()?,
+                    full_rebuild_rows: f.field("full_rebuild_rows")?.as_u64()?,
+                    clusters_reanchored: f.field("clusters_reanchored")?.as_u64()? as usize,
+                    balls_repaired: f.field("balls_repaired")?.as_u64()? as usize,
+                    repair_epoch_ns: f.field("repair_epoch_ns")?.as_u64()?,
+                    pre_worst_stretch: f.field("pre_worst_stretch")?.as_f64()?,
+                    degraded_delivered: f.field("degraded_delivered")?.as_u64()?,
+                    degraded_failed: f.field("degraded_failed")?.as_u64()?,
+                    degraded_violations: f.field("degraded_violations")?.as_u64()?,
+                    degraded_worst_stretch: f.field("degraded_worst_stretch")?.as_f64()?,
+                    degraded_success_rate: f.field("degraded_success_rate")?.as_f64()?,
+                    restored_pairs: f.field("restored_pairs")?.as_u64()?,
+                    post_worst_stretch: f.field("post_worst_stretch")?.as_f64()?,
+                    post_violations: f.field("post_violations")?.as_u64()?,
+                    post_failed: f.field("post_failed")?.as_u64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(ChaosBaseline {
+            n: value.field("n")?.as_u64()? as usize,
+            queries_per_epoch: value.field("queries_per_epoch")?.as_u64()? as usize,
+            seed: value.field("seed")?.as_u64()?,
+            workers: value.field("workers")?.as_u64()? as usize,
+            shards: value.field("shards")?.as_u64()? as usize,
+            shard_policy: value.field("shard_policy")?.as_string()?,
+            chords: value.field("chords")?.as_u64()? as usize,
+            edge_count: value.field("edge_count")?.as_u64()? as usize,
+            dirty_row_budget: value.field("dirty_row_budget")?.as_u64()? as usize,
+            bound: value.field("bound")?.as_u64()?,
+            fractions,
+        })
+    }
+}
+
+/// Diffs a current `chaos_sweep` run against the checked-in chaos baseline.
+///
+/// Everything except the repair wall-clock is deterministic given the run's
+/// seeds — fault selection, dirty rows, repair/rebuild row counts, delivery
+/// failures, violations, restored pairs — so those gate **exactly**; worst
+/// stretches gate with the usual [`DETERMINISTIC_SLACK`] (float formatting
+/// only).  Two invariants are re-checked on the current run regardless of
+/// what the baseline says: the post-repair epoch must be perfectly clean,
+/// and `repair_rows` must stay within [`REPAIR_ROW_BUDGET`] of
+/// `full_rebuild_rows`.  `repair_epoch_ns` is host-dependent and only warns.
+pub fn compare_chaos(
+    baseline: &ChaosBaseline,
+    current: &ChaosBaseline,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut warnings = Vec::new();
+    let config = |b: &ChaosBaseline| {
+        (
+            b.n,
+            b.queries_per_epoch,
+            b.seed,
+            b.shards,
+            b.shard_policy.clone(),
+            b.chords,
+            b.edge_count,
+            b.dirty_row_budget,
+            b.bound,
+        )
+    };
+    if config(baseline) != config(current) {
+        failures.push(format!(
+            "configuration mismatch: baseline is (n, queries, seed, shards, policy, chords, \
+             edges, dirty budget, bound) = {:?}, current is {:?} (regenerate the baseline, see \
+             docs/OPERATIONS.md)",
+            config(baseline),
+            config(current)
+        ));
+        return (failures, warnings);
+    }
+    let same_fraction = |a: f64, b: f64| (a - b).abs() < 1e-9;
+    for want in &baseline.fractions {
+        let tag = format!("fraction {:.3}", want.fraction);
+        let Some(got) = current.fractions.iter().find(|f| same_fraction(f.fraction, want.fraction))
+        else {
+            failures.push(format!("{tag} missing from the current run"));
+            continue;
+        };
+        // The deterministic integer record of the fraction: fault selection,
+        // invalidation, repair economy, and epoch outcomes, gated exactly.
+        let exact: [(&str, u64, u64); 13] = [
+            ("faults_requested", want.faults_requested as u64, got.faults_requested as u64),
+            ("faults_applied", want.faults_applied as u64, got.faults_applied as u64),
+            ("removals", want.removals as u64, got.removals as u64),
+            ("inflations", want.inflations as u64, got.inflations as u64),
+            ("dirty_nodes", want.dirty_nodes as u64, got.dirty_nodes as u64),
+            ("repair_rows", want.repair_rows, got.repair_rows),
+            ("full_rebuild_rows", want.full_rebuild_rows, got.full_rebuild_rows),
+            (
+                "clusters_reanchored",
+                want.clusters_reanchored as u64,
+                got.clusters_reanchored as u64,
+            ),
+            ("balls_repaired", want.balls_repaired as u64, got.balls_repaired as u64),
+            ("degraded_delivered", want.degraded_delivered, got.degraded_delivered),
+            ("degraded_failed", want.degraded_failed, got.degraded_failed),
+            ("degraded_violations", want.degraded_violations, got.degraded_violations),
+            ("restored_pairs", want.restored_pairs, got.restored_pairs),
+        ];
+        for (name, w, g) in exact {
+            if w != g {
+                failures.push(format!(
+                    "{tag}: {name} changed {w} → {g} — the seeded chaos run is deterministic, \
+                     so this is a behaviour change"
+                ));
+            }
+        }
+        let stretches = [
+            ("pre_worst_stretch", want.pre_worst_stretch, got.pre_worst_stretch),
+            ("degraded_worst_stretch", want.degraded_worst_stretch, got.degraded_worst_stretch),
+            ("post_worst_stretch", want.post_worst_stretch, got.post_worst_stretch),
+        ];
+        for (name, w, g) in stretches {
+            if g > w * (1.0 + DETERMINISTIC_SLACK) {
+                failures.push(format!("{tag}: {name} regressed {w:.3} → {g:.3}"));
+            }
+        }
+        if got.degraded_success_rate + 1e-6 < want.degraded_success_rate {
+            failures.push(format!(
+                "{tag}: degraded success rate dropped {:.4} → {:.4}",
+                want.degraded_success_rate, got.degraded_success_rate
+            ));
+        }
+        if got.repair_epoch_ns > want.repair_epoch_ns.saturating_mul(4) {
+            warnings.push(format!(
+                "{tag}: repair wall grew {} → {} ns (host-dependent, not gating)",
+                want.repair_epoch_ns, got.repair_epoch_ns
+            ));
+        }
+        // The two acceptance invariants, independent of the baseline's word.
+        if got.post_violations != 0 || got.post_failed != 0 {
+            failures.push(format!(
+                "{tag}: post-repair epoch is not clean ({} violations, {} delivery failures) — \
+                 repair did not restore the proven ceiling",
+                got.post_violations, got.post_failed
+            ));
+        }
+        if got.repair_rows as f64 > REPAIR_ROW_BUDGET * got.full_rebuild_rows as f64 {
+            failures.push(format!(
+                "{tag}: repair recomputed {} rows, over {:.0}% of the {}-row full rebuild",
+                got.repair_rows,
+                100.0 * REPAIR_ROW_BUDGET,
+                got.full_rebuild_rows
+            ));
+        }
+    }
+    for got in &current.fractions {
+        if !baseline.fractions.iter().any(|f| same_fraction(f.fraction, got.fraction)) {
+            failures.push(format!(
+                "fraction {:.3} is not in the baseline — regenerate ci/BENCH_chaos.json to \
+                 gate it",
+                got.fraction
             ));
         }
     }
@@ -886,5 +1217,159 @@ mod tests {
         assert!(ServeBaseline::from_json("{").is_err());
         assert!(ServeBaseline::from_json("{}").unwrap_err().contains("missing field"));
         assert!(ServeBaseline::from_json("{\"n\": -1}").is_err());
+    }
+
+    fn chaos_sample() -> ChaosBaseline {
+        ChaosBaseline {
+            n: 600,
+            queries_per_epoch: 4000,
+            seed: 42,
+            workers: 4,
+            shards: 4,
+            shard_policy: "hash".into(),
+            chords: 1800,
+            edge_count: 2400,
+            dirty_row_budget: 264,
+            bound: 140,
+            fractions: vec![
+                ChaosFraction {
+                    fraction: 0.02,
+                    faults_requested: 48,
+                    faults_applied: 48,
+                    removals: 32,
+                    inflations: 16,
+                    dirty_nodes: 70,
+                    repair_rows: 110,
+                    full_rebuild_rows: 1200,
+                    clusters_reanchored: 9,
+                    balls_repaired: 70,
+                    repair_epoch_ns: 1_000_000,
+                    pre_worst_stretch: 9.5,
+                    degraded_delivered: 3941,
+                    degraded_failed: 59,
+                    degraded_violations: 3,
+                    degraded_worst_stretch: 22.0,
+                    degraded_success_rate: 0.985_25,
+                    restored_pairs: 41,
+                    post_worst_stretch: 9.8,
+                    post_violations: 0,
+                    post_failed: 0,
+                },
+                ChaosFraction {
+                    fraction: 0.05,
+                    faults_requested: 120,
+                    faults_applied: 117,
+                    removals: 78,
+                    inflations: 39,
+                    dirty_nodes: 128,
+                    repair_rows: 231,
+                    full_rebuild_rows: 1200,
+                    clusters_reanchored: 17,
+                    balls_repaired: 128,
+                    repair_epoch_ns: 2_000_000,
+                    pre_worst_stretch: 9.5,
+                    degraded_delivered: 3800,
+                    degraded_failed: 200,
+                    degraded_violations: 12,
+                    degraded_worst_stretch: 31.0,
+                    degraded_success_rate: 0.95,
+                    restored_pairs: 150,
+                    post_worst_stretch: 10.1,
+                    post_violations: 0,
+                    post_failed: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chaos_json_roundtrips_and_compares_clean() {
+        let b = chaos_sample();
+        let parsed = ChaosBaseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed.n, b.n);
+        assert_eq!(parsed.bound, b.bound);
+        assert_eq!(parsed.fractions.len(), 2);
+        assert_eq!(parsed.fractions[1].repair_rows, 231);
+        let (failures, warnings) = compare_chaos(&b, &parsed);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn chaos_kind_discriminator_is_mandatory() {
+        let without_kind: String = chaos_sample()
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"kind\""))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+        assert!(ChaosBaseline::from_json(&without_kind).unwrap_err().contains("kind"));
+        // A serve artifact must not parse as a chaos one.
+        assert!(ChaosBaseline::from_json(&sample().to_json()).is_err());
+    }
+
+    #[test]
+    fn chaos_determinism_drift_is_a_hard_failure() {
+        let base = chaos_sample();
+
+        let mut cur = chaos_sample();
+        cur.fractions[1].repair_rows += 1;
+        let (failures, _) = compare_chaos(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("repair_rows changed")), "{failures:?}");
+
+        let mut cur = chaos_sample();
+        cur.fractions[0].degraded_failed = 60;
+        let (failures, _) = compare_chaos(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("degraded_failed")), "{failures:?}");
+
+        let mut cur = chaos_sample();
+        cur.fractions[0].degraded_worst_stretch *= 1.2;
+        let (failures, _) = compare_chaos(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("degraded_worst_stretch")), "{failures:?}");
+
+        let mut cur = chaos_sample();
+        cur.fractions.pop();
+        let (failures, _) = compare_chaos(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("missing from the current run")));
+
+        let mut base_short = chaos_sample();
+        base_short.fractions.pop();
+        let cur = chaos_sample();
+        let (failures, _) = compare_chaos(&base_short, &cur);
+        assert!(failures.iter().any(|f| f.contains("not in the baseline")), "{failures:?}");
+
+        let mut cur = chaos_sample();
+        cur.seed = 7;
+        let (failures, _) = compare_chaos(&base, &cur);
+        assert!(failures[0].contains("configuration mismatch"), "{failures:?}");
+    }
+
+    #[test]
+    fn chaos_acceptance_invariants_bind_even_with_a_complicit_baseline() {
+        // A baseline that itself records a dirty post-repair epoch or a
+        // blown repair budget must still fail the current run: the
+        // invariants are re-checked on the current values.
+        let mut base = chaos_sample();
+        base.fractions[0].post_violations = 5;
+        base.fractions[0].repair_rows = 900;
+        let mut cur = base.clone();
+        cur.fractions[0].post_violations = 5;
+        cur.fractions[0].repair_rows = 900;
+        let (failures, _) = compare_chaos(&base, &cur);
+        assert!(failures.iter().any(|f| f.contains("post-repair epoch is not clean")));
+        assert!(failures.iter().any(|f| f.contains("full rebuild")), "{failures:?}");
+    }
+
+    #[test]
+    fn chaos_repair_wall_only_warns() {
+        let base = chaos_sample();
+        let mut cur = chaos_sample();
+        cur.fractions[0].repair_epoch_ns = base.fractions[0].repair_epoch_ns * 10;
+        let (failures, warnings) = compare_chaos(&base, &cur);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(warnings.iter().any(|w| w.contains("repair wall")), "{warnings:?}");
     }
 }

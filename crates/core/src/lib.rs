@@ -59,10 +59,12 @@ mod exstretch;
 pub mod lowerbound;
 pub mod naming;
 mod polystretch;
+mod repair;
 mod stretch6;
 mod suite;
 
 pub use exstretch::{ExStretch, ExStretchParams};
 pub use polystretch::{PolyParams, PolynomialStretch};
+pub use repair::{RepairStats, SparseRepairKit};
 pub use stretch6::{Stretch6Params, StretchSix};
 pub use suite::{SchemeSuite, SparseSchemeSuite, SparseSuiteParams, SuiteParams};

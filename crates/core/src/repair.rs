@@ -1,0 +1,259 @@
+//! Incremental substrate repair after seeded graph faults (the chaos plane).
+//!
+//! [`SparseRepairKit`] is the sparse suite's build pipeline with the
+//! intermediate row artifacts — landmark substrate, Theorem 13 hierarchy,
+//! both truncated orders — **retained** instead of consumed, so that after a
+//! [`rtr_graph::FaultPlan`] mutates the graph the suite can be re-anchored by
+//! recomputing only what the faults actually touched:
+//!
+//! * the landmark balls and nearest-landmark choices of the nodes whose
+//!   metric rows a [`RowInvalidation`] marks dirty
+//!   ([`LandmarkBallScheme::repair_balls`]);
+//! * the truncated order prefixes of the same dirty nodes
+//!   ([`RoundtripOrder::repair`]);
+//! * the double trees of exactly the cover clusters containing a fault
+//!   endpoint ([`DoubleTreeCover::repair_clusters`]) — the covers themselves
+//!   stay anchored, which is sound under removals and weight increases
+//!   because roundtrip balls only shrink.
+//!
+//! Every clean artifact is carried verbatim and every recomputed one goes
+//! through the same code path as a fresh build, so the repaired kit is
+//! **bit-identical** to [`rebuild_reference`](SparseRepairKit::rebuild_reference)
+//! on the mutated graph (property-tested in `tests/repair_equivalence.rs`).
+//! On a rebased [`CachedSubsetOracle`] the whole repair reads at most two
+//! rows per dirty node, versus `2n` for a from-scratch rebuild — the ratio
+//! the chaos bench gates in CI.
+
+use crate::naming::NamingAssignment;
+use crate::suite::SparseSuiteParams;
+use crate::{ExStretch, StretchSix};
+use rtr_cover::{CoverSweepPlan, DoubleTreeCover, LevelCover};
+use rtr_graph::{DiGraph, FaultApplication, NodeId};
+use rtr_metric::{
+    broadcast_rows, CachedSubsetOracle, DistanceOracle, RoundtripOrder, RowInvalidation,
+    TruncatedOrderSweep,
+};
+use rtr_namedep::{LandmarkBallScheme, TreeCoverScheme};
+use std::time::Instant;
+
+/// What one [`SparseRepairKit::repair`] invocation recomputed — the
+/// quantities the chaos bench reports and CI gates (repair must touch at
+/// most a fixed fraction of a full rebuild's rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Nodes with at least one dirty metric row.
+    pub dirty_nodes: usize,
+    /// Dijkstra rows the repair oracle computed (carried clean rows are
+    /// cache hits and cost nothing).
+    pub rows_recomputed: u64,
+    /// Cover cluster trees rebuilt across all levels.
+    pub clusters_reanchored: usize,
+    /// Nodes whose landmark ball / nearest-landmark choice was recomputed.
+    pub balls_repaired: usize,
+    /// Wall-clock of the repair, in nanoseconds.
+    pub epoch_ns: u64,
+}
+
+/// The sparse scheme suite's row artifacts, retained for incremental repair.
+///
+/// Built exactly like [`crate::SparseSchemeSuite::build`] — one shared
+/// broadcast row sweep feeding the landmark extraction, the first cover
+/// scale group and both truncated orders — but the artifacts stay in the kit
+/// instead of being consumed by the scheme constructors, so
+/// [`schemes`](Self::schemes) can mint serving schemes from them at any time
+/// and [`repair`](Self::repair) can patch them after faults.
+///
+/// The §4 polynomial scheme is deliberately absent: its dictionary pass
+/// needs a second full row sweep over the *built* hierarchy, which would
+/// break the dirty-rows-only repair budget. The chaos serving plane runs the
+/// §2 and §3 schemes, and §3's proven stretch ceiling is what the verified
+/// epochs are gated against.
+#[derive(Debug)]
+pub struct SparseRepairKit {
+    params: SparseSuiteParams,
+    landmark: LandmarkBallScheme,
+    cover: DoubleTreeCover,
+    order6: RoundtripOrder,
+    orderx: RoundtripOrder,
+}
+
+impl SparseRepairKit {
+    /// Builds the kit's artifacts with one shared row sweep (plus any extra
+    /// cover scale groups beyond the transient-bit budget), mirroring the
+    /// sparse suite build bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not strongly connected or a parameter is out
+    /// of range (`k < 2`).
+    pub fn build<O: DistanceOracle + ?Sized>(
+        g: &DiGraph,
+        m: &O,
+        params: SparseSuiteParams,
+    ) -> Self {
+        assert!(params.poly.cover_k >= 2, "cover parameter must be >= 2");
+        assert!(m.is_strongly_connected(), "repair kit requires a strongly connected graph");
+        let n = g.node_count();
+        let _span = rtr_telemetry::span!("build.repair_kit", format_args!("n={n}"));
+
+        let landmark_sweep = LandmarkBallScheme::sweep(g, params.landmarks);
+        let plan = CoverSweepPlan::new(m, params.poly.cover_k);
+        let mut scale_groups = plan.scale_groups();
+        let cover_sweep = plan.ball_sweep(scale_groups.next().expect("at least one scale group"));
+        let order6_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, 1, 2));
+        let k_x = params.exstretch.k;
+        assert!(k_x >= 2, "ExStretch requires k >= 2");
+        let orderx_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, k_x - 1, k_x));
+        broadcast_rows(m, &[&landmark_sweep, &cover_sweep, &order6_sweep, &orderx_sweep]);
+
+        let landmark = landmark_sweep.finish();
+        let order6 = order6_sweep.finish();
+        let orderx = orderx_sweep.finish();
+        let mut levels: Vec<LevelCover> = cover_sweep.finish_levels(g, plan.k());
+        for group_scales in scale_groups {
+            let sweep = plan.ball_sweep(group_scales);
+            broadcast_rows(m, &[&sweep]);
+            levels.extend(sweep.finish_levels(g, plan.k()));
+        }
+        let cover = DoubleTreeCover::from_levels(plan.k(), levels);
+
+        SparseRepairKit { params, landmark, cover, order6, orderx }
+    }
+
+    /// The parameters the kit was built with.
+    pub fn params(&self) -> SparseSuiteParams {
+        self.params
+    }
+
+    /// The retained landmark + ball substrate.
+    pub fn landmark(&self) -> &LandmarkBallScheme {
+        &self.landmark
+    }
+
+    /// The retained Theorem 13 hierarchy.
+    pub fn cover(&self) -> &DoubleTreeCover {
+        &self.cover
+    }
+
+    /// The retained §2 truncated order.
+    pub fn order6(&self) -> &RoundtripOrder {
+        &self.order6
+    }
+
+    /// The retained §3 truncated order.
+    pub fn orderx(&self) -> &RoundtripOrder {
+        &self.orderx
+    }
+
+    /// Mints the serving schemes from the retained artifacts: the §2 scheme
+    /// over the landmark substrate and the §3 scheme over the tree-cover
+    /// handshake substrate. Scheme assembly reads no oracle rows — `m` is
+    /// consulted only for the strong-connectivity precondition — so minting
+    /// from a repaired kit stays inside the repair row budget.
+    pub fn schemes<O: DistanceOracle + ?Sized>(
+        &self,
+        g: &DiGraph,
+        m: &O,
+        names: &NamingAssignment,
+    ) -> (StretchSix<LandmarkBallScheme>, ExStretch<TreeCoverScheme>) {
+        let stretch6 = StretchSix::build_with_order(
+            g,
+            m,
+            names,
+            self.landmark.clone(),
+            &self.order6,
+            self.params.stretch6,
+        );
+        let treecover = TreeCoverScheme::from_cover(g, m, &self.cover);
+        let exstretch = ExStretch::build_with_order(
+            g,
+            m,
+            names,
+            treecover,
+            &self.orderx,
+            self.params.exstretch,
+        );
+        (stretch6, exstretch)
+    }
+
+    /// Repairs the kit after `application` mutated the graph into `g`.
+    ///
+    /// `m` must be the post-fault oracle — typically
+    /// [`CachedSubsetOracle::rebased`] over the pre-fault oracle, so the
+    /// clean rows are carried and only dirty rows cost a Dijkstra — and
+    /// `invalidation` the same analysis the rebase used. Emits the
+    /// `repair.rows_recomputed` / `repair.clusters_reanchored` counters and
+    /// the `repair.epoch_ns` histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mutated graph is no longer strongly connected or the
+    /// node set changed.
+    pub fn repair(
+        &self,
+        g: &DiGraph,
+        m: &CachedSubsetOracle<'_>,
+        invalidation: &RowInvalidation,
+        application: &FaultApplication,
+    ) -> (SparseRepairKit, RepairStats) {
+        let start = Instant::now();
+        let rows_before = m.stats().rows_computed;
+        let _span = rtr_telemetry::span!(
+            "repair.kit",
+            format_args!("dirty={}", invalidation.dirty_node_count())
+        );
+
+        let (landmark, balls_repaired) =
+            self.landmark.repair_balls(g, m, self.params.landmarks, invalidation);
+        let order6 = self.order6.repair(m, invalidation);
+        let orderx = self.orderx.repair(m, invalidation);
+        // Cluster hit detection needs the *fault endpoints*, not the dirty
+        // nodes: a removed edge can leave both endpoint rows clean (some
+        // other path was as short) while still changing its cluster's
+        // induced subgraph.
+        let mut touched: Vec<NodeId> =
+            application.faults.iter().flat_map(|f| [f.from, f.to]).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let (cover, clusters_reanchored) = self.cover.repair_clusters(g, &touched);
+
+        let stats = RepairStats {
+            dirty_nodes: invalidation.dirty_node_count(),
+            rows_recomputed: (m.stats().rows_computed - rows_before) as u64,
+            clusters_reanchored,
+            balls_repaired,
+            epoch_ns: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        };
+        rtr_telemetry::counter("repair.rows_recomputed").add(stats.rows_recomputed);
+        rtr_telemetry::counter("repair.clusters_reanchored").add(stats.clusters_reanchored as u64);
+        rtr_telemetry::histogram("repair.epoch_ns").observe(start.elapsed());
+
+        let kit = SparseRepairKit { params: self.params, landmark, cover, order6, orderx };
+        (kit, stats)
+    }
+
+    /// The repair's reference semantics, built the expensive way: a fresh
+    /// landmark substrate and fresh truncated orders from a from-scratch row
+    /// sweep of `m`, plus the anchored
+    /// [`DoubleTreeCover::rebuild_all_trees`] on `g`. [`repair`](Self::repair)
+    /// must be bit-identical to this.
+    pub fn rebuild_reference<O: DistanceOracle + ?Sized>(
+        &self,
+        g: &DiGraph,
+        m: &O,
+    ) -> SparseRepairKit {
+        let n = g.node_count();
+        let landmark_sweep = LandmarkBallScheme::sweep(g, self.params.landmarks);
+        let order6_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, 1, 2));
+        let k_x = self.params.exstretch.k;
+        let orderx_sweep = TruncatedOrderSweep::new(n, RoundtripOrder::level_size(n, k_x - 1, k_x));
+        broadcast_rows(m, &[&landmark_sweep, &order6_sweep, &orderx_sweep]);
+        SparseRepairKit {
+            params: self.params,
+            landmark: landmark_sweep.finish(),
+            cover: self.cover.rebuild_all_trees(g),
+            order6: order6_sweep.finish(),
+            orderx: orderx_sweep.finish(),
+        }
+    }
+}

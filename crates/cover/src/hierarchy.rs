@@ -36,7 +36,7 @@ impl TreeId {
 /// One level of the hierarchy: the sparse cover at scale `2^i`, a double tree
 /// per cluster (rooted at the cluster's seed node), and a compact tree router
 /// per double tree.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct LevelCover {
     /// The scale `2^i` this level covers.
     pub scale: Distance,
@@ -108,7 +108,7 @@ impl LevelCover {
 /// At the top level every node's ball is the whole vertex set, so each node's
 /// home tree there spans all of `V` — which is what guarantees that the §4
 /// routing scheme and the handshake substrate always terminate.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct DoubleTreeCover {
     k: u32,
     levels: Vec<LevelCover>,
@@ -373,6 +373,81 @@ impl DoubleTreeCover {
     pub fn max_membership_per_level(&self) -> usize {
         self.levels.iter().map(LevelCover::max_membership).max().unwrap_or(0)
     }
+
+    /// Rebuilds every level's double trees and compact routers on `g`,
+    /// keeping the covers themselves — clusters, seeds, home and membership
+    /// tables — **anchored** to the metric they were originally built from.
+    ///
+    /// This is the reference semantics of post-fault degraded serving (and
+    /// of [`repair_clusters`](Self::repair_clusters), which must be
+    /// bit-identical to it): under edge removals and weight increases every
+    /// roundtrip ball can only shrink, so an anchored home cluster still
+    /// contains its owner's ball and the covering property survives; what
+    /// degrades is the per-tree `RTHeight` (restricted distances grow), which
+    /// the verified serving plane measures rather than assumes.
+    pub fn rebuild_all_trees(&self, g: &DiGraph) -> DoubleTreeCover {
+        let levels = self
+            .levels
+            .iter()
+            .map(|level| {
+                let (trees, routers) = LevelCover::build_trees(g, &level.cover);
+                LevelCover { scale: level.scale, cover: level.cover.clone(), trees, routers }
+            })
+            .collect();
+        DoubleTreeCover { k: self.k, levels }
+    }
+
+    /// Incrementally re-anchors the hierarchy on a mutated graph: rebuilds
+    /// the double tree and router of exactly the clusters containing a node
+    /// in `touched`, cloning every other cluster's tree verbatim.
+    ///
+    /// `touched` must include **both endpoints of every fault** applied to
+    /// `g` (a superset is fine — extra nodes only cost extra rebuilds). A
+    /// cluster containing no touched node induces the same subgraph before
+    /// and after the faults, and tree construction is deterministic, so the
+    /// result is bit-identical to the full
+    /// [`rebuild_all_trees`](Self::rebuild_all_trees) on `g`.
+    ///
+    /// Returns the repaired hierarchy and the number of cluster trees that
+    /// were actually rebuilt (summed over levels).
+    pub fn repair_clusters(&self, g: &DiGraph, touched: &[NodeId]) -> (DoubleTreeCover, usize) {
+        let _span = rtr_telemetry::span!("cover.repair", format_args!("touched={}", touched.len()));
+        let mut reanchored = 0usize;
+        let levels = self
+            .levels
+            .iter()
+            .map(|level| {
+                let mut hit = vec![false; level.cover.clusters.len()];
+                for &v in touched {
+                    for &ci in level.membership(v) {
+                        hit[ci] = true;
+                    }
+                }
+                let (trees, routers) = level
+                    .trees
+                    .iter()
+                    .zip(&level.routers)
+                    .enumerate()
+                    .map(|(ci, (tree, router))| {
+                        if hit[ci] {
+                            reanchored += 1;
+                            let dt = DoubleTree::build(
+                                g,
+                                level.cover.seeds[ci],
+                                Some(&level.cover.clusters[ci]),
+                            );
+                            let router = TreeRouter::build(dt.out_tree());
+                            (dt, router)
+                        } else {
+                            (tree.clone(), router.clone())
+                        }
+                    })
+                    .unzip();
+                LevelCover { scale: level.scale, cover: level.cover.clone(), trees, routers }
+            })
+            .collect();
+        (DoubleTreeCover { k: self.k, levels }, reanchored)
+    }
 }
 
 #[cfg(test)]
@@ -510,6 +585,36 @@ mod tests {
         for v in g.nodes() {
             assert_eq!(c.tree(c.home_tree_id(v, top)).len(), g.node_count());
         }
+    }
+
+    #[test]
+    fn repair_clusters_is_bit_identical_to_anchored_rebuild() {
+        use rtr_graph::FaultPlan;
+        let mut exercised = 0usize;
+        for seed in 0..6u64 {
+            let (g0, _m, c0) = build(36, seed + 20, 2);
+            let candidates: Vec<(NodeId, NodeId)> =
+                g0.nodes().flat_map(|u| g0.out_edges(u).iter().map(move |e| (u, e.to))).collect();
+            let plan = FaultPlan::mixed_from_candidates(&candidates, 4, 2, 3, seed ^ 0x51c3);
+            let mut g1 = g0.clone();
+            let applied = plan.apply(&mut g1);
+            if !g1.is_strongly_connected() {
+                continue;
+            }
+            let touched: Vec<NodeId> = applied.faults.iter().flat_map(|f| [f.from, f.to]).collect();
+            let (repaired, reanchored) = c0.repair_clusters(&g1, &touched);
+            let reference = c0.rebuild_all_trees(&g1);
+            assert_eq!(repaired, reference, "seed {seed}: repair diverged from anchored rebuild");
+            let total: usize = c0.levels().iter().map(|l| l.trees.len()).sum();
+            assert!(reanchored <= total);
+            assert!(
+                reanchored > 0,
+                "seed {seed}: no cluster was hit by {} faults",
+                applied.faults.len()
+            );
+            exercised += 1;
+        }
+        assert!(exercised > 0, "every seeded plan disconnected the graph");
     }
 
     #[test]

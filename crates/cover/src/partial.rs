@@ -140,7 +140,7 @@ pub fn partial_cover(r: &[NodeSet], total_r: usize, k: u32) -> PartialCoverOutpu
 
 /// A sparse cover of all roundtrip balls of radius `d` (Theorem 10 with the
 /// roundtrip metric), produced by [`cover_balls`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BallCover {
     /// Ball radius `d` the cover was built for.
     pub radius: Distance,

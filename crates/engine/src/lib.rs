@@ -38,6 +38,13 @@
 //!   bound violations) is bit-identical for any shard × worker count and
 //!   hard-fails — [`VerifyServeError::BoundExceeded`] — when a trip exceeds
 //!   the scheme's proven stretch ceiling.
+//! * [`Engine::serve_epoch_sharded`] / [`chaos_report`] — the **chaos
+//!   plane**: tolerant verified serving through a fault window (routing
+//!   failures are recorded per pair instead of aborting the pool) and the
+//!   per-epoch breakdown — pre-fault / degraded / post-repair — attached to
+//!   the merged [`VerifiedReport`] as [`VerifiedReport::epochs`], listing
+//!   exactly which pairs exceeded the proven ceiling and which ones repair
+//!   restored.
 //! * [`Engine::open_stream`] / [`VerifiedStream`] — the **streaming request
 //!   source**: the same verified sharded serving fed batch by batch, for
 //!   callers (the `rtr-serve` TCP front door) that receive requests over
@@ -95,6 +102,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod chaos;
 mod engine;
 mod plane;
 mod shard;
@@ -103,6 +111,7 @@ mod stream;
 mod verify;
 mod workload;
 
+pub use chaos::{chaos_report, EpochKind, EpochReport, EpochServe, FailedPair};
 pub use engine::{Engine, EngineConfig};
 pub use plane::FrozenPlane;
 pub use shard::{

@@ -55,6 +55,28 @@ impl<S: RoundtripRouting> FrozenPlane<S> {
         self
     }
 
+    /// Replaces the plane's graph with a mutated snapshot, keeping the
+    /// frozen scheme and names — the chaos plane's **degraded serving**
+    /// entry point: the pre-fault scheme keeps serving over the faulted
+    /// graph, and every route that tries to cross a removed link surfaces as
+    /// a routing error the tolerant epoch serve
+    /// ([`crate::Engine::serve_epoch_sharded`]) counts per pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count changed — faults mutate links and weights,
+    /// never the node space.
+    #[must_use]
+    pub fn with_graph(mut self, graph: Arc<DiGraph>) -> Self {
+        assert_eq!(
+            graph.node_count(),
+            self.graph.node_count(),
+            "a degraded plane must keep the node space"
+        );
+        self.graph = graph;
+        self
+    }
+
     /// The underlying graph.
     pub fn graph(&self) -> &DiGraph {
         &self.graph

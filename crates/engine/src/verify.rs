@@ -318,6 +318,12 @@ pub struct VerifiedReport {
     /// Checked trips exceeding the configured [`StretchBound`], sorted by
     /// request index.  Always empty when no bound was configured.
     pub violations: Vec<VerifiedTrip>,
+    /// Per-epoch breakdown of a chaos run (pre-fault / degraded /
+    /// post-repair), populated only by [`crate::chaos_report`].  Empty for
+    /// every ordinary serve, and **not** part of the wire encoding — the
+    /// `rtr-serve` REPORT record carries the flat fields only (see
+    /// `docs/PROTOCOL.md`).
+    pub epochs: Vec<crate::chaos::EpochReport>,
 }
 
 impl VerifiedReport {
@@ -351,6 +357,7 @@ impl VerifiedReport {
             (a, b) => a.or(b),
         };
         self.violations.extend(other.violations);
+        self.epochs.extend(other.epochs);
     }
 }
 

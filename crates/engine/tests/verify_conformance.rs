@@ -10,13 +10,16 @@
 
 use proptest::prelude::*;
 use rtr_core::naming::NamingAssignment;
-use rtr_core::{SchemeSuite, SuiteParams};
+use rtr_core::{SchemeSuite, SparseRepairKit, SparseSuiteParams, SuiteParams};
 use rtr_engine::{
-    verify_sequential, Engine, EngineConfig, FrozenPlane, ShardMap, ShardedPlane, StretchBound,
-    VerifiedReport, VerifyConfig, VerifyMode, Workload,
+    chaos_report, verify_sequential, Engine, EngineConfig, EpochReport, FrozenPlane, ShardMap,
+    ShardedPlane, StretchBound, VerifiedReport, VerifyConfig, VerifyMode, Workload,
 };
 use rtr_graph::generators::strongly_connected_gnp;
-use rtr_metric::{CachedSubsetOracle, DistanceMatrix, DistanceOracle, LazyDijkstraOracle};
+use rtr_graph::{FaultPlan, NodeId};
+use rtr_metric::{
+    CachedSubsetOracle, DistanceMatrix, DistanceOracle, LazyDijkstraOracle, RowInvalidation,
+};
 use rtr_sim::RoundtripRouting;
 use std::sync::Arc;
 
@@ -102,6 +105,105 @@ fn check_conformance<S: RoundtripRouting + Send + Sync>(
     let engine = Engine::new(EngineConfig::with_workers(3));
     let outcome = engine.serve_verified(plane, requests, lazy, &sampled).unwrap();
     assert_eq!(outcome.report, seq, "{label}: sampled mode diverged");
+}
+
+/// The chaos plane's determinism contract: one seed pins the entire run.
+/// The fault plan generator must emit an identical delta sequence for the
+/// same seed, and the three-epoch [`rtr_engine::VerifiedReport`] of a full
+/// chaos cycle — pre-fault serve, degraded serve through the fault window,
+/// post-repair serve off the incrementally repaired substrate — must be
+/// bit-identical across 1, 2 and 8 workers under both shard policies.
+#[test]
+fn chaos_epochs_are_bit_identical_across_workers_and_shard_policies() {
+    let mut exercised = 0usize;
+    for seed in 0..6u64 {
+        let n = 28 + (seed as usize % 4);
+        let g0 = Arc::new(strongly_connected_gnp(n, 0.15, seed).unwrap());
+        let edges: Vec<(NodeId, NodeId)> =
+            g0.nodes().flat_map(|u| g0.out_edges(u).iter().map(move |e| (u, e.to))).collect();
+
+        // Same seed ⇒ identical delta sequence, twice over.
+        let plan = FaultPlan::mixed_from_candidates(&edges, 4, 2, 3, seed ^ 0x5eed);
+        let replay = FaultPlan::mixed_from_candidates(&edges, 4, 2, 3, seed ^ 0x5eed);
+        assert_eq!(plan, replay, "seed {seed}: fault plan generation is not deterministic");
+
+        let mut mutated = (*g0).clone();
+        let applied = plan.apply(&mut mutated);
+        assert_eq!(applied, plan.apply(&mut (*g0).clone()), "seed {seed}: application diverged");
+        if !mutated.is_strongly_connected() {
+            continue;
+        }
+        let g1 = Arc::new(mutated);
+
+        // Build → fault → repair, once; the serving planes are frozen and
+        // reused across every engine configuration below.
+        let m0 = CachedSubsetOracle::new(&g0);
+        let kit = SparseRepairKit::build(&g0, &m0, SparseSuiteParams::default());
+        let inv = RowInvalidation::for_application(&m0, &applied);
+        let m1 = CachedSubsetOracle::rebased(&m0, &g1, &inv);
+        let (kit1, _) = kit.repair(&g1, &m1, &inv, &applied);
+        let names = NamingAssignment::random(n, seed ^ 0x7e57);
+        let (_, sx) = kit.schemes(&g0, &m0, &names);
+        let (_, sxr) = kit1.schemes(&g1, &m1, &names);
+        let bound = sx.paper_stretch_bound().unwrap();
+        let frozen_names = Arc::new(names.to_names());
+        let pre_plane = FrozenPlane::freeze(Arc::clone(&g0), sx, Arc::clone(&frozen_names));
+        let degraded_plane = pre_plane.clone().with_graph(Arc::clone(&g1));
+        let post_plane = FrozenPlane::freeze(Arc::clone(&g1), sxr, frozen_names);
+
+        let pre_req = Workload::Mix.generate(n, 140, seed.wrapping_mul(31));
+        let deg_req = Workload::Uniform.generate(n, 140, seed.wrapping_mul(37));
+        let post_req = Workload::Mix.generate(n, 140, seed.wrapping_mul(41));
+        let config = VerifyConfig::full().with_bound(StretchBound::at_most(bound));
+
+        let mut reference: Option<VerifiedReport> = None;
+        for workers in [1usize, 2, 8] {
+            let engine = Engine::new(EngineConfig::with_workers(workers));
+            for map in [ShardMap::hashed(n, 3, 0xA11CE), ShardMap::range(n, 3)] {
+                let policy = map.policy().name();
+                let pre = engine.serve_epoch_sharded(
+                    &ShardedPlane::new(pre_plane.clone(), map),
+                    &pre_req,
+                    &m0,
+                    &config,
+                );
+                let deg = engine.serve_epoch_sharded(
+                    &ShardedPlane::new(degraded_plane.clone(), map),
+                    &deg_req,
+                    &m1,
+                    &config,
+                );
+                let post = engine.serve_epoch_sharded(
+                    &ShardedPlane::new(post_plane.clone(), map),
+                    &post_req,
+                    &m1,
+                    &config,
+                );
+                let report = chaos_report(&pre, &deg, &post);
+                let epochs: &[EpochReport] = &report.epochs;
+                assert_eq!(epochs.len(), 3, "seed {seed}");
+                assert!(
+                    epochs[0].is_clean(),
+                    "seed {seed}: pre-fault epoch violated the proven ceiling"
+                );
+                assert!(
+                    epochs[2].is_clean(),
+                    "seed {seed}: post-repair epoch still degraded: {:?} violations, {} failed",
+                    epochs[2].report.violations,
+                    epochs[2].failed(),
+                );
+                match &reference {
+                    None => reference = Some(report),
+                    Some(first) => assert_eq!(
+                        &report, first,
+                        "seed {seed}: chaos epochs diverged at {workers} workers ({policy})"
+                    ),
+                }
+            }
+        }
+        exercised += 1;
+    }
+    assert!(exercised >= 3, "only {exercised} seeded plans kept the graph strongly connected");
 }
 
 proptest! {

@@ -1,0 +1,316 @@
+//! Seeded fault injection: graph mutations as data.
+//!
+//! A [`GraphDelta`] is one structural fault — an edge removal, a weight
+//! inflation, or a node outage. A [`FaultPlan`] is a deterministic sequence
+//! of deltas: the generators here are pure functions of their inputs and a
+//! seed, so the same plan can be regenerated bit-for-bit on any worker (the
+//! chaos conformance tests assert exactly that).
+//!
+//! The generators are deliberately **metric-free** — they see adjacency and
+//! candidate lists, never distances. Callers that want impact-budgeted fault
+//! selection (the `chaos_sweep` bench) score candidates against the metric
+//! themselves and hand the survivors to [`FaultPlan::new`].
+//!
+//! Applying a plan ([`FaultPlan::apply`]) mutates a [`DiGraph`] in place
+//! through the port-preserving mutation API ([`DiGraph::remove_edge`],
+//! [`DiGraph::set_edge_weight`], [`DiGraph::isolate_node`]) and returns the
+//! [`EdgeFault`] records a downstream row-invalidation pass needs: the old
+//! weight of every touched edge, and whether the whole metric must be
+//! considered dirty (node outages).
+
+use crate::graph::DiGraph;
+use crate::types::{NodeId, Weight};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One structural fault, as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// Remove the directed edge `(from, to)` — a link failure.
+    RemoveEdge {
+        /// Tail of the failed edge.
+        from: NodeId,
+        /// Head of the failed edge.
+        to: NodeId,
+    },
+    /// Multiply the weight of edge `(from, to)` by `factor` (saturating) — a
+    /// congested or lossy link. Factors are `>= 1`, so distances never
+    /// shrink; that keeps conservative row invalidation sound.
+    InflateWeight {
+        /// Tail of the perturbed edge.
+        from: NodeId,
+        /// Head of the perturbed edge.
+        to: NodeId,
+        /// Multiplier applied to the current weight (must be `>= 1`).
+        factor: u32,
+    },
+    /// Remove every edge incident to `node` — a node outage. Breaks strong
+    /// connectivity, so applying one marks the entire metric dirty.
+    IsolateNode {
+        /// The failed node.
+        node: NodeId,
+    },
+}
+
+/// The record of one applied fault, in application order: enough for a
+/// conservative shortest-path row invalidation (`rtr-metric`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeFault {
+    /// Tail of the touched edge.
+    pub from: NodeId,
+    /// Head of the touched edge.
+    pub to: NodeId,
+    /// The edge's weight **before** the fault.
+    pub weight: Weight,
+    /// The weight after the fault — `None` for a removal.
+    pub new_weight: Option<Weight>,
+}
+
+/// What applying a [`FaultPlan`] actually did.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultApplication {
+    /// Every touched edge with its pre-fault weight, in application order.
+    pub faults: Vec<EdgeFault>,
+    /// Deltas that matched no present edge (already removed, or never
+    /// existed) and were skipped.
+    pub skipped: usize,
+    /// True when a delta invalidated the whole metric (node outage, or a
+    /// weight that decreased) — conservative per-row invalidation is only
+    /// sound for removals and weight increases.
+    pub all_rows_dirty: bool,
+}
+
+/// A deterministic, seeded sequence of [`GraphDelta`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    deltas: Vec<GraphDelta>,
+    /// The seed the plan was generated from (0 for hand-built plans) —
+    /// carried for provenance in bench artifacts.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Wraps an explicit delta sequence (impact-budgeted selections built by
+    /// callers with metric access).
+    pub fn new(deltas: Vec<GraphDelta>, seed: u64) -> FaultPlan {
+        FaultPlan { deltas, seed }
+    }
+
+    /// The delta sequence, in application order.
+    pub fn deltas(&self) -> &[GraphDelta] {
+        &self.deltas
+    }
+
+    /// Number of deltas in the plan.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// True when the plan contains no deltas.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Seeded selection of `count` edge removals from a candidate list: the
+    /// candidates are shuffled with `StdRng::seed_from_u64(seed)` and the
+    /// first `count` become [`GraphDelta::RemoveEdge`]. Same inputs and seed
+    /// ⇒ identical plan.
+    pub fn remove_from_candidates(
+        candidates: &[(NodeId, NodeId)],
+        count: usize,
+        seed: u64,
+    ) -> FaultPlan {
+        Self::mixed_from_candidates(candidates, count, 0, 1, seed)
+    }
+
+    /// Like [`remove_from_candidates`](Self::remove_from_candidates), but
+    /// every `inflate_stride`-th selected edge (positions `0, s, 2s, …` of
+    /// the shuffled selection) becomes a weight inflation by `factor`
+    /// instead of a removal. `inflate_stride == 0` disables inflation.
+    pub fn mixed_from_candidates(
+        candidates: &[(NodeId, NodeId)],
+        count: usize,
+        inflate_stride: usize,
+        factor: u32,
+        seed: u64,
+    ) -> FaultPlan {
+        let mut picked: Vec<(NodeId, NodeId)> = candidates.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        picked.shuffle(&mut rng);
+        picked.truncate(count);
+        let deltas = picked
+            .into_iter()
+            .enumerate()
+            .map(|(i, (from, to))| {
+                if inflate_stride > 0 && i % inflate_stride == 0 {
+                    GraphDelta::InflateWeight { from, to, factor }
+                } else {
+                    GraphDelta::RemoveEdge { from, to }
+                }
+            })
+            .collect();
+        FaultPlan { deltas, seed }
+    }
+
+    /// A seeded regional outage: an unweighted out-BFS from `center` up to
+    /// `hops` hops marks the blast region, and every edge with **both**
+    /// endpoints inside the region is removed (shuffled into a seeded
+    /// order). Regions routinely disconnect the graph — this generator is
+    /// for outage modelling and API tests, not for plans that must keep the
+    /// serving plane strongly connected.
+    pub fn regional(g: &DiGraph, center: NodeId, hops: usize, seed: u64) -> FaultPlan {
+        let n = g.node_count();
+        let mut depth: Vec<Option<usize>> = vec![None; n];
+        depth[center.index()] = Some(0);
+        let mut frontier = vec![center];
+        for d in 1..=hops {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for e in g.out_edges(u) {
+                    if depth[e.to.index()].is_none() {
+                        depth[e.to.index()] = Some(d);
+                        next.push(e.to);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        let mut internal: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in g.nodes() {
+            if depth[u.index()].is_none() {
+                continue;
+            }
+            for e in g.out_edges(u) {
+                if depth[e.to.index()].is_some() {
+                    internal.push((u, e.to));
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        internal.shuffle(&mut rng);
+        let deltas =
+            internal.into_iter().map(|(from, to)| GraphDelta::RemoveEdge { from, to }).collect();
+        FaultPlan { deltas, seed }
+    }
+
+    /// Applies the plan to `g` in delta order, returning the applied-fault
+    /// records. Deltas naming an absent edge are counted in
+    /// [`FaultApplication::skipped`] rather than failing — a node outage
+    /// earlier in the plan may already have taken an edge down.
+    pub fn apply(&self, g: &mut DiGraph) -> FaultApplication {
+        let mut out = FaultApplication::default();
+        for &delta in &self.deltas {
+            match delta {
+                GraphDelta::RemoveEdge { from, to } => match g.remove_edge(from, to) {
+                    Some(e) => {
+                        out.faults.push(EdgeFault { from, to, weight: e.weight, new_weight: None })
+                    }
+                    None => out.skipped += 1,
+                },
+                GraphDelta::InflateWeight { from, to, factor } => {
+                    assert!(factor >= 1, "inflation factors are >= 1");
+                    match g.edge_weight(from, to) {
+                        Some(old) => {
+                            let new = old.saturating_mul(factor as Weight);
+                            g.set_edge_weight(from, to, new);
+                            if new < old {
+                                out.all_rows_dirty = true;
+                            }
+                            out.faults.push(EdgeFault {
+                                from,
+                                to,
+                                weight: old,
+                                new_weight: Some(new),
+                            });
+                        }
+                        None => out.skipped += 1,
+                    }
+                }
+                GraphDelta::IsolateNode { node } => {
+                    let removed = g.isolate_node(node);
+                    if !removed.is_empty() {
+                        out.all_rows_dirty = true;
+                    }
+                    for (from, to, weight) in removed {
+                        out.faults.push(EdgeFault { from, to, weight, new_weight: None });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::strongly_connected_gnp;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let g = strongly_connected_gnp(40, 0.2, 7).unwrap();
+        let candidates: Vec<(NodeId, NodeId)> =
+            g.nodes().flat_map(|u| g.out_edges(u).iter().map(move |e| (u, e.to))).collect();
+        let a = FaultPlan::mixed_from_candidates(&candidates, 12, 4, 3, 99);
+        let b = FaultPlan::mixed_from_candidates(&candidates, 12, 4, 3, 99);
+        assert_eq!(a, b);
+        let c = FaultPlan::mixed_from_candidates(&candidates, 12, 4, 3, 100);
+        assert_ne!(a.deltas(), c.deltas());
+        assert_eq!(a.len(), 12);
+        assert!(a.deltas().iter().any(|d| matches!(d, GraphDelta::InflateWeight { .. })));
+        assert!(a.deltas().iter().any(|d| matches!(d, GraphDelta::RemoveEdge { .. })));
+    }
+
+    #[test]
+    fn apply_records_old_weights_and_skips_absent_edges() {
+        let g0 = strongly_connected_gnp(30, 0.2, 3).unwrap();
+        let (u, e) = g0
+            .nodes()
+            .find_map(|u| g0.out_edges(u).first().map(|e| (u, *e)))
+            .expect("graph has edges");
+        let plan = FaultPlan::new(
+            vec![
+                GraphDelta::InflateWeight { from: u, to: e.to, factor: 5 },
+                GraphDelta::RemoveEdge { from: u, to: e.to },
+                GraphDelta::RemoveEdge { from: u, to: e.to },
+            ],
+            0,
+        );
+        let mut g = g0.clone();
+        let applied = plan.apply(&mut g);
+        assert_eq!(applied.skipped, 1);
+        assert!(!applied.all_rows_dirty);
+        assert_eq!(applied.faults.len(), 2);
+        assert_eq!(applied.faults[0].weight, e.weight);
+        assert_eq!(applied.faults[0].new_weight, Some(e.weight.saturating_mul(5)));
+        assert_eq!(applied.faults[1].weight, e.weight.saturating_mul(5));
+        assert_eq!(applied.faults[1].new_weight, None);
+        assert_eq!(g.edge_count(), g0.edge_count() - 1);
+    }
+
+    #[test]
+    fn isolate_marks_all_rows_dirty() {
+        let g0 = strongly_connected_gnp(20, 0.25, 5).unwrap();
+        let mut g = g0.clone();
+        let plan = FaultPlan::new(vec![GraphDelta::IsolateNode { node: NodeId(3) }], 0);
+        let applied = plan.apply(&mut g);
+        assert!(applied.all_rows_dirty);
+        assert_eq!(applied.faults.len(), g0.out_degree(NodeId(3)) + g0.in_degree(NodeId(3)));
+        assert_eq!(g.out_degree(NodeId(3)), 0);
+    }
+
+    #[test]
+    fn regional_outage_is_deterministic_and_internal() {
+        let g = strongly_connected_gnp(50, 0.15, 11).unwrap();
+        let a = FaultPlan::regional(&g, NodeId(7), 2, 1);
+        let b = FaultPlan::regional(&g, NodeId(7), 2, 1);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Every delta touches only nodes within 2 out-hops of the center.
+        let mut g2 = g.clone();
+        let applied = a.apply(&mut g2);
+        assert_eq!(applied.skipped, 0);
+        assert_eq!(applied.faults.len(), a.len());
+    }
+}

@@ -187,16 +187,32 @@ pub fn directed_ring(n: usize, seed: u64) -> Result<DiGraph> {
 
 /// A directed ring plus `chords` random one-way chord edges.
 pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> Result<DiGraph> {
+    ring_with_chords_weighted(n, chords, seed, WeightRange::default(), WeightRange::default())
+}
+
+/// [`ring_with_chords`] with explicit ring and chord weight ranges.
+///
+/// Widening the chord range past the typical graph distance makes a
+/// controllable share of the chords *metrically redundant* (never on any
+/// shortest path), which is the regime for fault-injection studies: redundant
+/// edges can fail without perturbing the distance metric, as in real networks
+/// that survive losing spare capacity.
+pub fn ring_with_chords_weighted(
+    n: usize,
+    chords: usize,
+    seed: u64,
+    ring_weights: WeightRange,
+    chord_weights: WeightRange,
+) -> Result<DiGraph> {
     assert!(n >= 2);
     let mut rng = StdRng::seed_from_u64(seed);
-    let weights = WeightRange::default();
     let mut b = DiGraphBuilder::new(n);
     b.port_assignment(scrambled(seed));
     for i in 0..n {
         b.add_edge(
             NodeId::from_index(i),
             NodeId::from_index((i + 1) % n),
-            weights.sample(&mut rng),
+            ring_weights.sample(&mut rng),
         )?;
     }
     let mut added = 0;
@@ -206,7 +222,7 @@ pub fn ring_with_chords(n: usize, chords: usize, seed: u64) -> Result<DiGraph> {
         let u = rng.gen_range(0..n as u32);
         let v = rng.gen_range(0..n as u32);
         if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
-            b.add_edge(NodeId(u), NodeId(v), weights.sample(&mut rng))?;
+            b.add_edge(NodeId(u), NodeId(v), chord_weights.sample(&mut rng))?;
             added += 1;
         }
     }
@@ -501,6 +517,38 @@ mod tests {
         let g = ring_with_chords(30, 10, 5).unwrap();
         assert!(g.is_strongly_connected());
         assert_eq!(g.edge_count(), 40);
+    }
+
+    #[test]
+    fn weighted_chords_respect_their_range() {
+        let ring = WeightRange::unit();
+        let chord = WeightRange::new(100, 200);
+        let g = ring_with_chords_weighted(40, 25, 7, ring, chord).unwrap();
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.edge_count(), 65);
+        let mut chords_seen = 0;
+        for u in g.nodes() {
+            for e in g.out_edges(u) {
+                if (u.index() + 1) % 40 == e.to.index() {
+                    assert_eq!(e.weight, 1, "ring edge outside ring range");
+                } else {
+                    assert!((100..=200).contains(&e.weight), "chord weight {} off-range", e.weight);
+                    chords_seen += 1;
+                }
+            }
+        }
+        assert_eq!(chords_seen, 25);
+    }
+
+    #[test]
+    fn default_ranges_match_the_unweighted_generator() {
+        let g1 = ring_with_chords(30, 12, 5).unwrap();
+        let g2 =
+            ring_with_chords_weighted(30, 12, 5, WeightRange::default(), WeightRange::default())
+                .unwrap();
+        for u in g1.nodes() {
+            assert_eq!(g1.out_edges(u), g2.out_edges(u));
+        }
     }
 
     #[test]

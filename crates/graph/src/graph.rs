@@ -387,6 +387,100 @@ impl DiGraph {
         self.validate_ports()
     }
 
+    /// Removes the directed edge `(from, to)` in place, returning the removed
+    /// edge record (including its port label) or `None` when no such edge
+    /// exists.
+    ///
+    /// All surviving edges keep their port labels, so routing tables built
+    /// before the removal still resolve — a table entry naming the removed
+    /// port simply stops resolving, which is exactly how a link failure
+    /// manifests in the fixed-port model. Weight bounds are recomputed, so
+    /// this is `O(m)` per call; fault injection applies batches of a few
+    /// hundred, where that is irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn remove_edge(&mut self, from: NodeId, to: NodeId) -> Option<Edge> {
+        let out = &mut self.out_edges[from.index()];
+        let at = out.iter().position(|e| e.to == to)?;
+        let removed = out.remove(at);
+        let ins = &mut self.in_edges[to.index()];
+        let in_at = ins
+            .iter()
+            .position(|&(s, _)| s == from)
+            .expect("in-edge list out of sync with out-edge list");
+        ins.remove(in_at);
+        self.edge_count -= 1;
+        self.recompute_weight_bounds();
+        Some(removed)
+    }
+
+    /// Sets the weight of edge `(from, to)` in place, returning the previous
+    /// weight, or `None` when the edge does not exist. The port label is
+    /// preserved. Weight bounds are recomputed (`O(m)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, or if `weight == 0`
+    /// (weights are strictly positive by construction).
+    pub fn set_edge_weight(&mut self, from: NodeId, to: NodeId, weight: Weight) -> Option<Weight> {
+        assert!(weight > 0, "edge weights are strictly positive");
+        let edge = self.out_edges[from.index()].iter_mut().find(|e| e.to == to)?;
+        let old = edge.weight;
+        edge.weight = weight;
+        let entry = self.in_edges[to.index()]
+            .iter_mut()
+            .find(|&&mut (s, _)| s == from)
+            .expect("in-edge list out of sync with out-edge list");
+        entry.1 = weight;
+        self.recompute_weight_bounds();
+        Some(old)
+    }
+
+    /// Removes every edge incident to `node` (both directions), returning the
+    /// removed `(from, to, weight)` records. The node itself remains (ids are
+    /// dense), it just becomes isolated — which breaks strong connectivity,
+    /// so callers modelling a node outage must treat the whole metric as
+    /// invalidated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn isolate_node(&mut self, node: NodeId) -> Vec<(NodeId, NodeId, Weight)> {
+        let mut removed = Vec::new();
+        let outs: Vec<NodeId> = self.out_edges[node.index()].iter().map(|e| e.to).collect();
+        for to in outs {
+            if let Some(e) = self.remove_edge(node, to) {
+                removed.push((node, to, e.weight));
+            }
+        }
+        let ins: Vec<NodeId> = self.in_edges[node.index()].iter().map(|&(s, _)| s).collect();
+        for from in ins {
+            if let Some(e) = self.remove_edge(from, node) {
+                removed.push((from, node, e.weight));
+            }
+        }
+        removed
+    }
+
+    /// Re-derives `max_weight` / `min_weight` after an in-place mutation.
+    fn recompute_weight_bounds(&mut self) {
+        let mut max_weight: Weight = 1;
+        let mut min_weight: Weight = Weight::MAX;
+        for es in &self.out_edges {
+            for e in es {
+                max_weight = max_weight.max(e.weight);
+                min_weight = min_weight.min(e.weight);
+            }
+        }
+        if self.edge_count == 0 {
+            min_weight = 1;
+        }
+        self.max_weight = max_weight;
+        self.min_weight = min_weight;
+    }
+
     /// Verifies that port labels are unique per node.
     fn validate_ports(&self) -> Result<()> {
         for u in self.nodes() {
@@ -541,6 +635,44 @@ mod tests {
         let s = g.to_string();
         assert!(s.contains("n=3"));
         assert!(s.contains("m=3"));
+    }
+
+    #[test]
+    fn remove_edge_preserves_surviving_ports() {
+        let mut g = triangle();
+        let kept_port = g.port_of_edge(NodeId(1), NodeId(2)).unwrap();
+        let removed = g.remove_edge(NodeId(0), NodeId(1)).unwrap();
+        assert_eq!(removed.to, NodeId(1));
+        assert_eq!(removed.weight, 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), None);
+        assert_eq!(g.in_degree(NodeId(1)), 0);
+        assert_eq!(g.port_of_edge(NodeId(1), NodeId(2)), Some(kept_port));
+        assert_eq!(g.min_weight(), 2);
+        assert!(g.remove_edge(NodeId(0), NodeId(1)).is_none());
+    }
+
+    #[test]
+    fn set_edge_weight_updates_both_adjacencies() {
+        let mut g = triangle();
+        let port = g.port_of_edge(NodeId(2), NodeId(0)).unwrap();
+        assert_eq!(g.set_edge_weight(NodeId(2), NodeId(0), 9), Some(3));
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(0)), Some(9));
+        assert_eq!(g.in_edges(NodeId(0))[0], (NodeId(2), 9));
+        assert_eq!(g.port_of_edge(NodeId(2), NodeId(0)), Some(port));
+        assert_eq!(g.max_weight(), 9);
+        assert_eq!(g.set_edge_weight(NodeId(0), NodeId(2), 5), None);
+    }
+
+    #[test]
+    fn isolate_node_removes_all_incident_edges() {
+        let mut g = triangle();
+        let removed = g.isolate_node(NodeId(1));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_degree(NodeId(1)), 0);
+        assert_eq!(g.in_degree(NodeId(1)), 0);
+        assert!(!g.is_strongly_connected());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod algo;
+pub mod chaos;
 mod error;
 pub mod generators;
 mod graph;
@@ -57,6 +58,7 @@ pub mod io;
 pub mod par;
 pub mod types;
 
+pub use chaos::{EdgeFault, FaultApplication, FaultPlan, GraphDelta};
 pub use error::GraphError;
 pub use graph::{DiGraph, DiGraphBuilder, Edge, PortAssignment};
 pub use types::{Distance, NodeId, Port, Weight, INFINITY};

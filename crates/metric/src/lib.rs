@@ -52,12 +52,14 @@
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+mod invalidation;
 mod matrix;
 mod oracle;
 mod order;
 mod sweep;
 
 pub use cluster::ClusterMetric;
+pub use invalidation::RowInvalidation;
 pub use matrix::DistanceMatrix;
 pub use oracle::{
     roundtrip_rows_batched, roundtrip_rows_sharded, sweep_rows_prefetched, CachedSubsetOracle,

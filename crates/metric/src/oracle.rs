@@ -27,6 +27,7 @@
 //! lazy pays a Dijkstra per row miss for `O(capacity·n)` memory; the subset
 //! oracle pays each row once for `O(touched·n)` memory.**
 
+use crate::invalidation::RowInvalidation;
 use crate::matrix::DistanceMatrix;
 use parking_lot::Mutex;
 use rtr_graph::algo::dijkstra::{dijkstra, dijkstra_reverse};
@@ -514,6 +515,47 @@ impl<'g> LazyDijkstraOracle<'g> {
         self.g
     }
 
+    /// Rebases a pre-fault oracle onto the mutated graph `g`: every cached
+    /// row that `invalidation` proves still exact is carried over (as a
+    /// shared `Arc`, no copy), dirty rows are dropped, and the usage
+    /// counters restart at zero — so [`stats`](Self::stats) afterwards
+    /// measures exactly the *incremental* row cost of post-fault repair and
+    /// verification.
+    ///
+    /// The capacity (and the absence of a telemetry scope — re-attach one
+    /// with [`with_telemetry_scope`](Self::with_telemetry_scope) if wanted)
+    /// is inherited from `old`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `old`, `g` and `invalidation` disagree on the node count.
+    pub fn rebased(
+        old: &LazyDijkstraOracle<'_>,
+        g: &'g DiGraph,
+        invalidation: &RowInvalidation,
+    ) -> LazyDijkstraOracle<'g> {
+        assert_eq!(old.g.node_count(), g.node_count(), "rebasing across different node counts");
+        assert_eq!(invalidation.node_count(), g.node_count(), "invalidation node count mismatch");
+        let old_cache = old.cache.lock();
+        let new = LazyDijkstraOracle::new(g, old_cache.capacity);
+        let mut carried = 0usize;
+        {
+            let mut cache = new.cache.lock();
+            for (&key, (row, _)) in old_cache.rows.iter() {
+                let clean = match key {
+                    RowKey::Fwd(s) => !invalidation.is_fwd_dirty(NodeId(s)),
+                    RowKey::Rev(s) => !invalidation.is_rev_dirty(NodeId(s)),
+                };
+                if clean {
+                    cache.insert(key, Arc::clone(row));
+                    carried += 1;
+                }
+            }
+        }
+        new.peak_resident.store(carried, Ordering::Relaxed);
+        new
+    }
+
     /// Current usage counters.
     pub fn stats(&self) -> OracleStats {
         let (resident_rows, evictions) = {
@@ -712,6 +754,23 @@ impl<'g> CachedSubsetOracle<'g> {
     pub fn with_telemetry_scope(mut self, scope: &str) -> Self {
         self.inner = self.inner.with_telemetry_scope(scope);
         self
+    }
+
+    /// Rebases a pre-fault subset oracle onto the mutated graph `g`,
+    /// carrying every row `invalidation` proves clean and restarting the
+    /// counters at zero — see [`LazyDijkstraOracle::rebased`]. With no
+    /// eviction, [`materialised_rows`](Self::materialised_rows) afterwards
+    /// is the exact number of rows the post-fault phase recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `old`, `g` and `invalidation` disagree on the node count.
+    pub fn rebased(
+        old: &CachedSubsetOracle<'_>,
+        g: &'g DiGraph,
+        invalidation: &RowInvalidation,
+    ) -> CachedSubsetOracle<'g> {
+        CachedSubsetOracle { inner: LazyDijkstraOracle::rebased(&old.inner, g, invalidation) }
     }
 
     /// The underlying graph.

@@ -49,7 +49,7 @@ pub fn roundtrip_closer<O: DistanceOracle + ?Sized>(
 /// [broadcast sweep](crate::broadcast_rows): [`TruncatedOrderSweep`] is the
 /// row consumer, and several orders (or other row consumers) can share one
 /// pass over the metric.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundtripOrder {
     n: usize,
     stored: usize,
@@ -197,6 +197,45 @@ impl RoundtripOrder {
     pub fn level_neighborhood(&self, v: NodeId, i: u32, k: u32) -> &[NodeId] {
         let size = Self::level_size(self.node_count(), i, k);
         self.neighborhood(v, size)
+    }
+
+    /// Incrementally repairs the order after graph faults: each stored
+    /// prefix is a pure function of its node's roundtrip and reverse rows,
+    /// so only the prefixes of nodes the
+    /// [`RowInvalidation`](crate::RowInvalidation) marks dirty are
+    /// recomputed (two oracle rows each against the post-fault metric `m`);
+    /// clean prefixes are carried over unchanged.
+    ///
+    /// With `m` the mutated graph's metric (e.g. a
+    /// [rebased](crate::LazyDijkstraOracle::rebased) oracle), the result is
+    /// **bit-identical** to [`build_truncated`](Self::build_truncated) from
+    /// scratch on the mutated graph — clean rows are unchanged by
+    /// construction, so clean prefixes are too.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m` or `invalidation` disagree with this order's node
+    /// count.
+    pub fn repair<O: DistanceOracle + ?Sized>(
+        &self,
+        m: &O,
+        invalidation: &crate::RowInvalidation,
+    ) -> RoundtripOrder {
+        assert_eq!(m.node_count(), self.n, "repair metric node count mismatch");
+        assert_eq!(invalidation.node_count(), self.n, "invalidation node count mismatch");
+        let orders = (0..self.n as u32)
+            .map(NodeId)
+            .map(|v| {
+                if invalidation.is_node_dirty(v) {
+                    let roundtrip = m.roundtrip_row(v);
+                    let rev = m.rev_row(v);
+                    prefix_from_rows(&roundtrip, &rev, self.stored)
+                } else {
+                    self.orders[v.index()].clone()
+                }
+            })
+            .collect();
+        RoundtripOrder { n: self.n, stored: self.stored, orders }
     }
 }
 
@@ -373,6 +412,34 @@ mod tests {
     fn level_size_matches_sqrt_for_k2() {
         assert_eq!(RoundtripOrder::level_size(1024, 1, 2), 32);
         assert_eq!(RoundtripOrder::level_size(100, 1, 2), 10);
+    }
+
+    #[test]
+    fn repaired_order_matches_fresh_build_on_mutated_graph() {
+        use crate::{CachedSubsetOracle, RowInvalidation};
+        use rtr_graph::FaultPlan;
+        for seed in 0..8u64 {
+            let g0 = strongly_connected_gnp(30, 0.18, seed).unwrap();
+            let m0 = CachedSubsetOracle::new(&g0);
+            let order0 = RoundtripOrder::build_truncated(&m0, 9);
+            let candidates: Vec<(NodeId, NodeId)> =
+                g0.nodes().flat_map(|u| g0.out_edges(u).iter().map(move |e| (u, e.to))).collect();
+            let plan = FaultPlan::mixed_from_candidates(&candidates, 4, 2, 3, seed ^ 0xc4a0);
+            let mut g1 = g0.clone();
+            let applied = plan.apply(&mut g1);
+            if !g1.is_strongly_connected() {
+                continue;
+            }
+            let inv = RowInvalidation::for_application(&m0, &applied);
+            let rebased = CachedSubsetOracle::rebased(&m0, &g1, &inv);
+            let repaired = order0.repair(&rebased, &inv);
+            let fresh = RoundtripOrder::build_truncated(&DistanceMatrix::build(&g1), 9);
+            for v in g1.nodes() {
+                assert_eq!(repaired.init(v), fresh.init(v), "node {v} seed {seed}");
+            }
+            // Repair only ever touched the dirty nodes' two rows.
+            assert!(rebased.materialised_rows() <= 2 * inv.dirty_node_count());
+        }
     }
 
     #[test]

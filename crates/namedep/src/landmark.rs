@@ -38,8 +38,10 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rtr_graph::algo::dijkstra::dijkstra_to_targets;
-use rtr_graph::{DiGraph, NodeId, Port};
-use rtr_metric::{broadcast_rows, DistanceOracle, RowSweepConsumer, SweepRows, SweepSlots};
+use rtr_graph::{DiGraph, Distance, NodeId, Port};
+use rtr_metric::{
+    broadcast_rows, DistanceOracle, RowInvalidation, RowSweepConsumer, SweepRows, SweepSlots,
+};
 use rtr_sim::{id_bits, ForwardAction, RoutingError, TableStats};
 use rtr_trees::{InTree, OutTree, TreeLabel, TreeNodeTable, TreeRouter, TreeStep};
 use std::collections::hash_map::Entry;
@@ -103,8 +105,10 @@ impl LabelBits for LandmarkLabel {
 ///
 /// `Clone` is cheap relative to a rebuild (plain table copies, no Dijkstras;
 /// the interned tree addresses are shared, not duplicated), so one substrate
-/// build can serve several scheme constructions.
-#[derive(Debug, Clone)]
+/// build can serve several scheme constructions. Equality is structural over
+/// every table — the repair path uses it to property-test bit-identity with
+/// a from-scratch rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LandmarkBallScheme {
     n: usize,
     /// The landmarks some node actually routes through (nearest landmark of
@@ -153,38 +157,51 @@ pub struct LandmarkSweep<'g> {
 
 impl RowSweepConsumer for LandmarkSweep<'_> {
     fn consume(&self, u: NodeId, rows: &SweepRows<'_>) {
-        let rt_row = rows.roundtrip;
-        let (li, _) = self
-            .sampled
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (i, rt_row[l.index()]))
-            .min_by_key(|&(i, d)| (d, i))
-            .expect("at least one landmark");
-
-        let r_to_landmarks = rt_row[self.sampled[li].index()];
-        // Candidate ball members, nearest first, capped.
-        let mut members: Vec<NodeId> =
-            self.g.nodes().filter(|&w| w != u && rt_row[w.index()] < r_to_landmarks).collect();
-        members.sort_by_key(|&w| (rt_row[w.index()], w.0));
-        members.truncate(self.ball_cap);
-        let mut ball: HashMap<NodeId, Port> = HashMap::new();
-        if !members.is_empty() {
-            // Bounded Dijkstra: stop as soon as every ball member is
-            // settled instead of running to completion — the members
-            // are the only nodes read, and their first hops are
-            // bit-identical to a full run (see `dijkstra_to_targets`).
-            let sp = dijkstra_to_targets(self.g, u, &members);
-            for w in members {
-                // First hop of the shortest path u → w.
-                let path = sp.path(w).expect("strongly connected");
-                let first_hop = path[1];
-                let port = self.g.port_of_edge(u, first_hop).expect("edge on path exists");
-                ball.insert(w, port);
-            }
-        }
-        self.slots.put(u.index(), (li as u32, ball));
+        self.slots
+            .put(u.index(), node_ball(self.g, &self.sampled, self.ball_cap, u, rows.roundtrip));
     }
+}
+
+/// The pass-1 result for one node, computed from its roundtrip row: the index
+/// of `u`'s nearest *sampled* landmark and `u`'s roundtrip ball with exact
+/// first-hop ports. One code path shared by the build sweep and the repair
+/// entry point so that a repaired node is bit-identical to a fresh one.
+fn node_ball(
+    g: &DiGraph,
+    sampled: &[NodeId],
+    ball_cap: usize,
+    u: NodeId,
+    rt_row: &[Distance],
+) -> (u32, HashMap<NodeId, Port>) {
+    let (li, _) = sampled
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (i, rt_row[l.index()]))
+        .min_by_key(|&(i, d)| (d, i))
+        .expect("at least one landmark");
+
+    let r_to_landmarks = rt_row[sampled[li].index()];
+    // Candidate ball members, nearest first, capped.
+    let mut members: Vec<NodeId> =
+        g.nodes().filter(|&w| w != u && rt_row[w.index()] < r_to_landmarks).collect();
+    members.sort_by_key(|&w| (rt_row[w.index()], w.0));
+    members.truncate(ball_cap);
+    let mut ball: HashMap<NodeId, Port> = HashMap::new();
+    if !members.is_empty() {
+        // Bounded Dijkstra: stop as soon as every ball member is
+        // settled instead of running to completion — the members
+        // are the only nodes read, and their first hops are
+        // bit-identical to a full run (see `dijkstra_to_targets`).
+        let sp = dijkstra_to_targets(g, u, &members);
+        for w in members {
+            // First hop of the shortest path u → w.
+            let path = sp.path(w).expect("strongly connected");
+            let first_hop = path[1];
+            let port = g.port_of_edge(u, first_hop).expect("edge on path exists");
+            ball.insert(w, port);
+        }
+    }
+    (li as u32, ball)
 }
 
 impl<'g> LandmarkSweep<'g> {
@@ -358,6 +375,75 @@ impl LandmarkBallScheme {
     /// `ℓ(v)`: the nearest landmark of `v`.
     pub fn nearest_landmark(&self, v: NodeId) -> NodeId {
         self.landmarks[self.nearest_landmark[v.index()] as usize]
+    }
+
+    /// Incrementally re-anchors the substrate on a mutated graph.
+    ///
+    /// `g` must be the mutated graph (same node set), `m` its **post-fault**
+    /// metric — typically a rebased oracle carrying the clean pre-fault rows
+    /// — and `params` the parameters this substrate was built with. The
+    /// per-node pass-1 results (nearest sampled landmark + roundtrip ball)
+    /// are recomputed only for the nodes `invalidation` marks dirty; clean
+    /// nodes carry their stored results over verbatim. That carry is exact,
+    /// not approximate: a clean node's roundtrip row is unchanged by
+    /// definition, and its ball's first-hop ports are unchanged too, because
+    /// any removed or inflated edge on a shortest path out of `u` is *tight*
+    /// from `u` and would have dirtied `u`'s forward row (the Dijkstra
+    /// tie-break — smallest parent id among final-distance predecessors — is
+    /// a pure function of distances and tight edges). The graph-side passes
+    /// (landmark pruning, per-landmark trees, descent records) always re-run
+    /// on `g`, touching no oracle rows.
+    ///
+    /// Returns the repaired substrate — bit-identical to
+    /// [`build`](Self::build) from scratch on `(g, m, params)` — and the
+    /// number of nodes whose pass-1 results were recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node set changed, if `invalidation` sizes a different
+    /// metric, or if `g` is no longer strongly connected.
+    pub fn repair_balls<O: DistanceOracle + ?Sized>(
+        &self,
+        g: &DiGraph,
+        m: &O,
+        params: LandmarkParams,
+        invalidation: &RowInvalidation,
+    ) -> (LandmarkBallScheme, usize) {
+        assert_eq!(self.n, g.node_count(), "repair requires an unchanged node set");
+        assert_eq!(self.n, invalidation.node_count(), "invalidation sizes a different metric");
+        assert!(
+            m.is_strongly_connected(),
+            "landmark substrate requires a strongly connected graph"
+        );
+        let _span = rtr_telemetry::span!(
+            "landmark.repair",
+            format_args!("dirty={}", invalidation.dirty_node_count())
+        );
+        // The sample is metric-free (node count + seed), so regenerate it
+        // instead of having stored it.
+        let probe = Self::sweep(g, params);
+        let (sampled, ball_cap) = (probe.sampled, probe.ball_cap);
+        let mut nearest_sampled = Vec::with_capacity(self.n);
+        let mut balls = Vec::with_capacity(self.n);
+        let mut repaired = 0usize;
+        for u in g.nodes() {
+            if invalidation.is_node_dirty(u) {
+                let rt_row = m.roundtrip_row(u);
+                let (li, ball) = node_ball(g, &sampled, ball_cap, u, &rt_row);
+                nearest_sampled.push(li);
+                balls.push(ball);
+                repaired += 1;
+            } else {
+                // Recover the *sampled* index of u's nearest landmark — the
+                // substrate only stores indices into the pruned list.
+                let l = self.landmarks[self.nearest_landmark[u.index()] as usize];
+                let li = sampled.binary_search(&l).expect("kept landmark was sampled") as u32;
+                nearest_sampled.push(li);
+                balls.push(self.balls[u.index()].clone());
+            }
+        }
+        let max_ball_size = balls.iter().map(HashMap::len).max().unwrap_or(0);
+        (Self::assemble(g, sampled, nearest_sampled, balls, max_ball_size), repaired)
     }
 }
 
@@ -632,6 +718,37 @@ mod tests {
             "descent sets not sparse: {total_descent} records for {} landmarks",
             s.landmarks().len()
         );
+    }
+
+    #[test]
+    fn repair_is_bit_identical_to_fresh_build_on_mutated_graph() {
+        use rtr_graph::FaultPlan;
+        use rtr_metric::{CachedSubsetOracle, RowInvalidation};
+        let mut exercised = 0usize;
+        for seed in 0..8u64 {
+            let g0 = strongly_connected_gnp(40, 0.12, seed).unwrap();
+            let m0 = CachedSubsetOracle::new(&g0);
+            let params = LandmarkParams { seed, ..Default::default() };
+            let s0 = LandmarkBallScheme::build(&g0, &m0, params);
+            let candidates: Vec<(NodeId, NodeId)> =
+                g0.nodes().flat_map(|u| g0.out_edges(u).iter().map(move |e| (u, e.to))).collect();
+            let plan = FaultPlan::mixed_from_candidates(&candidates, 5, 2, 3, seed ^ 0x9e37);
+            let mut g1 = g0.clone();
+            let applied = plan.apply(&mut g1);
+            if !g1.is_strongly_connected() {
+                continue;
+            }
+            let inv = RowInvalidation::for_application(&m0, &applied);
+            let rebased = CachedSubsetOracle::rebased(&m0, &g1, &inv);
+            let (repaired, touched) = s0.repair_balls(&g1, &rebased, params, &inv);
+            let fresh = LandmarkBallScheme::build(&g1, &DistanceMatrix::build(&g1), params);
+            assert_eq!(repaired, fresh, "seed {seed}: repair diverged from fresh build");
+            assert_eq!(touched, inv.dirty_node_count());
+            // Repair touched only the dirty nodes' rows.
+            assert!(rebased.materialised_rows() <= 2 * inv.dirty_node_count());
+            exercised += 1;
+        }
+        assert!(exercised > 0, "every seeded plan disconnected the graph");
     }
 
     #[test]

@@ -53,4 +53,4 @@ pub use protocol::{
     HealthInfo, Opcode, ServedRoute, Status, WireError, WireRequest, WireResponse, MAX_FRAME_LEN,
     VERSION,
 };
-pub use server::{serve, ServeConfig, ServeOutcome};
+pub use server::{serve, serve_with_status, ServeConfig, ServeOutcome};

@@ -210,6 +210,12 @@ pub struct HealthInfo {
     pub served: u64,
     /// Route queries rejected by admission control since startup.
     pub rejected: u64,
+    /// True while the operator has marked the substrate degraded (a fault
+    /// window between injection and repair).  Served routes may exceed the
+    /// proven stretch ceiling until this clears; clients that need the
+    /// ceiling should treat a degraded server like an `OVERLOADED` response
+    /// — back off and retry after repair (see `docs/PROTOCOL.md` §6).
+    pub degraded: bool,
 }
 
 /// A decoded response payload.
@@ -421,6 +427,7 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
             put_u64(&mut out, h.in_flight);
             put_u64(&mut out, h.served);
             put_u64(&mut out, h.rejected);
+            out.push(h.degraded as u8);
         }
         WireResponse::Metrics(json) => out.extend_from_slice(json.as_bytes()),
         WireResponse::Report(report) => encode_report_body(&mut out, report),
@@ -477,6 +484,13 @@ pub fn decode_response(payload: &[u8]) -> Result<WireResponse, WireError> {
             in_flight: r.u64()?,
             served: r.u64()?,
             rejected: r.u64()?,
+            degraded: match r.u8()? {
+                0 => false,
+                1 => true,
+                b => {
+                    return Err(WireError::malformed(format!("degraded flag must be 0|1, got {b}")))
+                }
+            },
         }),
         Opcode::Metrics => {
             let json = String::from_utf8(r.rest().to_vec())
@@ -588,6 +602,8 @@ fn decode_report_body(r: &mut Reader<'_>) -> Result<VerifiedReport, WireError> {
     for _ in 0..violations_len {
         violations.push(read_trip(r)?);
     }
+    // The wire record carries the flat report only; chaos epoch breakdowns
+    // never cross the protocol (`VerifiedReport::epochs` stays empty).
     Ok(VerifiedReport {
         queries,
         checked,
@@ -596,6 +612,7 @@ fn decode_report_body(r: &mut Reader<'_>) -> Result<VerifiedReport, WireError> {
         histogram,
         worst,
         violations,
+        epochs: Vec::new(),
     })
 }
 
@@ -690,6 +707,7 @@ mod tests {
                 in_flight: 12,
                 served: 30_000,
                 rejected: 2,
+                degraded: true,
             }),
             WireResponse::Metrics("{\n  \"counters\": {}\n}\n".to_string()),
             WireResponse::Shutdown,
@@ -722,6 +740,7 @@ mod tests {
             histogram: StretchHistogram::from_nonzero_buckets(&[(32, 4), (96, 3)]).unwrap(),
             worst: Some(trip),
             violations: vec![trip],
+            epochs: Vec::new(),
         };
         let bytes = encode_response(&WireResponse::Report(report.clone()));
         assert_eq!(decode_response(&bytes).unwrap(), WireResponse::Report(report));

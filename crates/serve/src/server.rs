@@ -91,6 +91,7 @@ pub struct ServeOutcome {
 /// call.
 struct Shared<'a> {
     shutdown: &'a AtomicBool,
+    degraded: &'a AtomicBool,
     in_flight: AtomicU64,
     served: AtomicU64,
     rejected: AtomicU64,
@@ -141,9 +142,40 @@ where
     S: RoundtripRouting + Send + Sync,
     O: DistanceOracle + ?Sized,
 {
+    let never_degraded = AtomicBool::new(false);
+    serve_with_status(listener, engine, plane, oracle, verify, config, shutdown, &never_degraded)
+}
+
+/// [`serve`] with an operator-owned **degraded flag**: while `degraded` is
+/// `true`, every `HEALTH` response reports
+/// [`HealthInfo::degraded`](crate::HealthInfo) set — the chaos plane's way
+/// of telling clients a fault window is open and served routes may exceed
+/// the proven ceiling until repair clears the flag.  The flag changes
+/// nothing about serving itself; it is a status byte, flipped by whoever
+/// drives the fault injection and repair.
+///
+/// # Errors
+///
+/// As [`serve`].
+#[allow(clippy::too_many_arguments)]
+pub fn serve_with_status<S, O>(
+    listener: TcpListener,
+    engine: &Engine,
+    plane: &ShardedPlane<S>,
+    oracle: &O,
+    verify: &VerifyConfig,
+    config: &ServeConfig,
+    shutdown: &AtomicBool,
+    degraded: &AtomicBool,
+) -> io::Result<ServeOutcome>
+where
+    S: RoundtripRouting + Send + Sync,
+    O: DistanceOracle + ?Sized,
+{
     listener.set_nonblocking(true)?;
     let shared = Shared {
         shutdown,
+        degraded,
         in_flight: AtomicU64::new(0),
         served: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
@@ -475,6 +507,7 @@ fn answer(
                 in_flight: shared.in_flight.load(Ordering::Relaxed),
                 served: shared.served.load(Ordering::Relaxed),
                 rejected: shared.rejected.load(Ordering::Relaxed),
+                degraded: shared.degraded.load(Ordering::Relaxed),
             };
             (WireResponse::Health(health), false)
         }

@@ -19,7 +19,7 @@ use rtr_serve::protocol::{
 };
 use rtr_serve::{Client, ClientError, ServeConfig, ServeOutcome, Status};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 const N: u32 = 32;
@@ -256,6 +256,7 @@ fn health_and_metrics_expose_the_serving_plane() {
         assert_eq!(health.served, 1);
         assert_eq!(health.in_flight, 0);
         assert_eq!(health.rejected, 0);
+        assert!(!health.degraded, "a healthy plane must not report degraded");
 
         let json = client.metrics().expect("metrics");
         // The wire string is Registry::to_json() verbatim — spot-check the
@@ -273,6 +274,51 @@ fn health_and_metrics_expose_the_serving_plane() {
         client.shutdown().expect("shutdown");
     });
     assert_eq!(outcome.served, 1);
+}
+
+#[test]
+fn health_reports_degraded_during_a_fault_window_and_recovers() {
+    let fx = fixture(11, 2);
+    let engine = Engine::new(EngineConfig::with_workers(2));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let shutdown = AtomicBool::new(false);
+    let degraded = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            rtr_serve::serve_with_status(
+                listener,
+                &engine,
+                &fx.sharded,
+                &fx.matrix,
+                &VerifyConfig::full(),
+                &ServeConfig::default(),
+                &shutdown,
+                &degraded,
+            )
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        assert!(!client.health().expect("health").degraded);
+
+        // Fault injection opens the window: the chaos driver flips the
+        // status flag…
+        degraded.store(true, Ordering::Relaxed);
+        assert!(client.health().expect("health in window").degraded);
+        // …and serving keeps running through it — DEGRADED is advisory, not
+        // an admission gate.
+        let (src, dst) = pair(91);
+        client.route(src, dst).expect("route during fault window");
+        assert!(client.health().expect("health after route").degraded);
+
+        // Repair closes the window.
+        degraded.store(false, Ordering::Relaxed);
+        let health = client.health().expect("health after repair");
+        assert!(!health.degraded, "repair must clear the degraded byte");
+        assert_eq!(health.served, 1);
+        client.shutdown().expect("shutdown");
+        let outcome = server.join().expect("server panicked").expect("serve failed");
+        assert_eq!(outcome.served, 1);
+    });
 }
 
 #[test]

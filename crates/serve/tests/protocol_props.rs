@@ -69,6 +69,7 @@ fn report_from(seed: u64, entries: usize, violations: usize) -> VerifiedReport {
         histogram,
         worst: if mix(94) % 2 == 0 { Some(trip_from(mix(95))) } else { None },
         violations: (0..violations).map(|i| trip_from(mix(100 + i as u64))).collect(),
+        epochs: Vec::new(),
     }
 }
 
@@ -85,6 +86,7 @@ fn response_from(shape: u32, a: u64, b: u64) -> WireResponse {
             in_flight: a % 1000,
             served: b,
             rejected: a % 7,
+            degraded: (a ^ b) % 2 == 1,
         }),
         3 => WireResponse::Metrics(format!("{{\n  \"counters\": {{\n    \"x\": {a}\n  }}\n}}\n")),
         4 => WireResponse::Report(report_from(a ^ b, (a % 20) as usize, (b % 5) as usize)),

@@ -86,7 +86,7 @@ pub enum TreeStep {
 /// headers) shares the same allocation instead of cloning the light-hop
 /// vector, so a label referenced from thousands of dictionary entries costs
 /// one `TreeLabel` plus refcounts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeRouter {
     root: NodeId,
     tables: HashMap<NodeId, TreeNodeTable>,

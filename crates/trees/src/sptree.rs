@@ -13,7 +13,7 @@ use std::collections::{HashMap, HashSet};
 /// its parent and the port *at the parent* labelling the tree edge
 /// `parent → v`; this is exactly the information needed to forward packets
 /// down the tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutTree {
     root: NodeId,
     /// Sorted members (includes the root).
@@ -148,7 +148,7 @@ impl OutTree {
 /// Each member stores its next hop toward the root and the out-port of the
 /// first edge of that path — the only state a node needs in order to forward
 /// packets "up" toward the center.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InTree {
     root: NodeId,
     members: Vec<NodeId>,
@@ -256,7 +256,7 @@ impl InTree {
 /// `DoubleTree(C)` — the union of [`InTree`] and [`OutTree`] rooted at the
 /// same center (paper §3.2), supporting the "route through the center"
 /// primitive and the `RTHeight` measure.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DoubleTree {
     out: OutTree,
     in_: InTree,
